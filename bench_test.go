@@ -1,0 +1,88 @@
+// Package bitc's root benchmark harness: one testing.B benchmark per
+// experiment (E1–E8), so `go test -bench=. -benchmem` regenerates every
+// result the reproduction reports. Key figures are exported as custom
+// benchmark metrics where a single number captures the claim.
+package bitc
+
+import (
+	"testing"
+
+	"bitc/internal/bench"
+	"bitc/internal/core"
+	"bitc/internal/opt"
+	"bitc/internal/vm"
+)
+
+// runAll runs one full experiment per benchmark iteration.
+func runAll(b *testing.B, id string) []*bench.Table {
+	b.Helper()
+	ex := bench.ByID(id)
+	if ex == nil {
+		b.Fatalf("no experiment %s", id)
+	}
+	var tables []*bench.Table
+	for i := 0; i < b.N; i++ {
+		tables = ex.Run(bench.Quick)
+	}
+	return tables
+}
+
+// BenchmarkE1BoxedVsUnboxed regenerates fallacy 1's table and reports the
+// measured boxed/unboxed time ratio of the canonical kernels.
+func BenchmarkE1BoxedVsUnboxed(b *testing.B) {
+	fib := core.MustLoad("fib", `
+	  (define (fib (n int64)) int64
+	    (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+	  (define (entry (n int64)) int64 (fib n))`,
+		core.Config{Optimize: opt.O1})
+	b.Run("unboxed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			machine := vm.New(fib.Module, vm.Options{Mode: vm.Unboxed})
+			if _, err := machine.RunFunc("entry", vm.IntValue(18)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("boxed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			machine := vm.New(fib.Module, vm.Options{Mode: vm.Boxed})
+			if _, err := machine.RunFunc("entry", vm.IntValue(18)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("table", func(b *testing.B) { runAll(b, "E1") })
+}
+
+// BenchmarkE2UnboxOptimizer regenerates fallacy 2's tables: how much boxing
+// escape-based unboxing rescues, and what residue remains.
+func BenchmarkE2UnboxOptimizer(b *testing.B) {
+	tables := runAll(b, "E2")
+	if len(tables) == 2 && len(tables[0].Rows) > 0 {
+		b.ReportMetric(float64(len(tables[0].Rows)), "workloads")
+	}
+}
+
+// BenchmarkE3LayoutControl regenerates fallacy 3's table: declared layout is
+// a language property no optimiser may rewrite.
+func BenchmarkE3LayoutControl(b *testing.B) { runAll(b, "E3") }
+
+// BenchmarkE4FFILegacy regenerates fallacy 4's tables: bounded, amortisable
+// boundary cost.
+func BenchmarkE4FFILegacy(b *testing.B) { runAll(b, "E4") }
+
+// BenchmarkE5ConstraintProver regenerates challenge 1's table: automated
+// discharge of the contract corpus.
+func BenchmarkE5ConstraintProver(b *testing.B) { runAll(b, "E5") }
+
+// BenchmarkE6Allocators regenerates challenge 2's table: the same trace
+// through seven storage disciplines.
+func BenchmarkE6Allocators(b *testing.B) { runAll(b, "E6") }
+
+// BenchmarkE7Representation regenerates challenge 3's tables: footprint per
+// representation and wire round-trip throughput.
+func BenchmarkE7Representation(b *testing.B) { runAll(b, "E7") }
+
+// BenchmarkE8SharedState regenerates challenge 4's tables: the bank transfer
+// under three disciplines plus the static verdicts.
+func BenchmarkE8SharedState(b *testing.B) { runAll(b, "E8") }

@@ -1,0 +1,54 @@
+// Command bitc-bench regenerates the experiment tables E1–E8 that reproduce
+// the quantitative claims of Shapiro's PLOS 2006 paper (see DESIGN.md for the
+// claim↔experiment mapping and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	bitc-bench            run every experiment at full scale
+//	bitc-bench -e E3      run one experiment
+//	bitc-bench -quick     test-suite sized workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bitc/internal/bench"
+)
+
+func main() {
+	exp := flag.String("e", "", "run a single experiment (E1..E8, A1..A4)")
+	quick := flag.Bool("quick", false, "small workloads (what the test suite runs)")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations A1..A4")
+	flag.Parse()
+
+	params := bench.Full
+	if *quick {
+		params = bench.Quick
+	}
+
+	run := func(e bench.Experiment) {
+		fmt.Printf("\n##### %s — %s\n", e.ID, e.Title)
+		for _, t := range e.Run(params) {
+			fmt.Println(t.String())
+		}
+	}
+
+	if *exp != "" {
+		e := bench.ByID(*exp)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "bitc-bench: no experiment %q (have E1..E8)\n", *exp)
+			os.Exit(1)
+		}
+		run(*e)
+		return
+	}
+	exps := bench.All()
+	if *ablations {
+		exps = bench.AllWithAblations()
+	}
+	for _, e := range exps {
+		run(e)
+	}
+}

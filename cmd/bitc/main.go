@@ -1,0 +1,173 @@
+// Command bitc is the driver for the bitc toolchain: type-check, run,
+// verify, analyse, and inspect bitc programs.
+//
+// Usage:
+//
+//	bitc check <file>            type-check only
+//	bitc run [-boxed] [-contracts] [-seed N] <file>
+//	                             compile and execute main
+//	bitc verify <file>           generate + discharge verification conditions
+//	bitc analyze <file>          region-escape and race analyses
+//	bitc dump-ir <file>          print the optimised IR
+//	bitc dump-layout <file>      print struct layouts (packed/natural/boxed)
+//	bitc fmt <file>              print the normalised program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"bitc/internal/ast"
+	"bitc/internal/core"
+	"bitc/internal/layout"
+	"bitc/internal/opt"
+	"bitc/internal/verify"
+	"bitc/internal/vm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bitc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: bitc <check|run|verify|analyze|dump-ir|dump-layout|fmt|repl> [flags] <file>")
+	}
+	cmd, rest := args[0], args[1:]
+
+	if cmd == "repl" {
+		return repl(os.Stdin, os.Stdout)
+	}
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	boxed := fs.Bool("boxed", false, "execute under the uniform boxed representation")
+	contracts := fs.Bool("contracts", false, "compile contracts into runtime checks")
+	seed := fs.Uint64("seed", 0, "deterministic scheduler seed")
+	quantum := fs.Int("quantum", 64, "instructions between preemption points")
+	olevel := fs.Int("O", 2, "optimisation level (0..2)")
+	entry := fs.String("entry", "main", "entry function for run")
+	noBounds := fs.Bool("no-bounds", false, "verify: skip vector bounds obligations")
+	noDivZero := fs.Bool("no-divzero", false, "verify: skip division-by-zero obligations")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("%s needs exactly one source file", cmd)
+	}
+	path := fs.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.Config{
+		Optimize:      opt.Level(*olevel),
+		EmitContracts: *contracts,
+		Seed:          *seed,
+		Quantum:       *quantum,
+		Stdout:        os.Stdout,
+	}
+	if *boxed {
+		cfg.Mode = vm.Boxed
+	}
+	prog, err := core.Load(path, string(src), cfg)
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "check":
+		fmt.Printf("%s: %d definitions OK (%d functions compiled)\n",
+			path, len(prog.AST.Defs), len(prog.Module.Funcs))
+		return nil
+
+	case "run":
+		val, machine, err := prog.RunFunc(*entry)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=> %s\n", val.String())
+		s := machine.Stats
+		fmt.Printf("[%s] instrs=%d calls=%d allocs=%d heap=%dB boxes=%d switches=%d\n",
+			machine.Mode(), s.Instrs, s.Calls, s.Allocs, s.HeapBytes, s.BoxAllocs, s.Switches)
+		return nil
+
+	case "verify":
+		vopts := verify.Options{CheckBounds: !*noBounds, CheckDivZero: !*noDivZero}
+		rep := prog.Verify(vopts)
+		for _, vc := range rep.VCs {
+			status := "PROVED"
+			if !vc.Result.Proved {
+				status = "FAILED"
+			}
+			fmt.Printf("%-7s [%s] %s: %s (%s)\n", status, vc.Kind, vc.Func, vc.Desc, vc.Result.Duration)
+			if !vc.Result.Proved {
+				fmt.Printf("        counterexample facts: %v\n", vc.Result.Counterexample)
+			}
+		}
+		fmt.Println(rep.Summary())
+		if rep.Failed > 0 {
+			return fmt.Errorf("%d verification conditions failed", rep.Failed)
+		}
+		return nil
+
+	case "analyze":
+		escapes := prog.CheckRegions()
+		for _, e := range escapes {
+			fmt.Println("region-escape:", e)
+		}
+		races := prog.Races()
+		for _, r := range races.Races {
+			fmt.Println("race:", r)
+		}
+		fmt.Printf("%d region escapes, %d potential races (%d shared accesses)\n",
+			len(escapes), len(races.Races), len(races.Accesses))
+		return nil
+
+	case "dump-ir":
+		fmt.Print(prog.DumpIR())
+		return nil
+
+	case "dump-layout":
+		names := make([]string, 0, len(prog.Info.Structs))
+		for name := range prog.Info.Structs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			for _, mode := range []layout.Mode{layout.Natural, layout.Packed, layout.Boxed} {
+				l, lerr := prog.LayoutOf(name, mode)
+				if lerr != nil {
+					return lerr
+				}
+				fmt.Print(l.Describe())
+			}
+		}
+		unames := make([]string, 0, len(prog.Info.Unions))
+		for name := range prog.Info.Unions {
+			unames = append(unames, name)
+		}
+		sort.Strings(unames)
+		for _, name := range unames {
+			ul, lerr := layout.OfUnion(prog.Info.Unions[name], layout.Natural)
+			if lerr != nil {
+				return lerr
+			}
+			fmt.Printf("union %s: size=%d align=%d tag=%dB arms=%d\n",
+				name, ul.Size, ul.Align, ul.TagSize, len(ul.Arms))
+		}
+		return nil
+
+	case "fmt":
+		fmt.Println(ast.PrintProgram(prog.AST))
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeProg drops source into a temp .bitc file and returns its path.
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.bitc")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs the CLI with stdout redirected to a pipe.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	out, _ := os.ReadFile(asFile(r))
+	return string(out), runErr
+}
+
+// asFile drains a pipe reader into a temp file so capture stays simple.
+func asFile(r *os.File) string {
+	f, _ := os.CreateTemp("", "out")
+	defer f.Close()
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			f.Write(buf[:n])
+		}
+		if err != nil {
+			break
+		}
+	}
+	return f.Name()
+}
+
+const good = `
+(defstruct pt (x int32) (y int32))
+(defunion opt (None) (Some (v int32)))
+(define (main) int64
+  (println "hi")
+  (+ 40 2))
+`
+
+func TestCheckCommand(t *testing.T) {
+	out, err := capture(t, []string{"check", writeProg(t, good)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "OK") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRunCommand(t *testing.T) {
+	out, err := capture(t, []string{"run", writeProg(t, good)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hi") || !strings.Contains(out, "=> 42") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "[unboxed]") {
+		t.Errorf("stats line missing: %q", out)
+	}
+}
+
+func TestRunBoxedFlag(t *testing.T) {
+	out, err := capture(t, []string{"run", "-boxed", writeProg(t, good)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[boxed]") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRunCustomEntry(t *testing.T) {
+	src := `(define (other) int64 7)`
+	out, err := capture(t, []string{"run", "-entry", "other", writeProg(t, src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=> 7") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestVerifyCommandPass(t *testing.T) {
+	src := `(define (f (x int64)) int64 :requires (> x 0) :ensures (> %result 0) (+ x 1))`
+	out, err := capture(t, []string{"verify", writeProg(t, src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "PROVED") || strings.Contains(out, "FAILED") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestVerifyCommandFail(t *testing.T) {
+	src := `(define (f (x int64)) int64 :ensures (> %result x) (- x 1))`
+	out, err := capture(t, []string{"verify", writeProg(t, src)})
+	if err == nil {
+		t.Fatal("verify should fail")
+	}
+	if !strings.Contains(out, "FAILED") || !strings.Contains(out, "counterexample") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestAnalyzeCommand(t *testing.T) {
+	src := `
+	  (defstruct cell (v int64))
+	  (define shared cell (make cell :v 0))
+	  (define (w) unit (set-field! shared v 1))
+	  (define (main) unit
+	    (let ((t1 (spawn (w))) (t2 (spawn (w)))) (join t1) (join t2)))`
+	out, err := capture(t, []string{"analyze", writeProg(t, src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "race:") {
+		t.Errorf("race not reported: %q", out)
+	}
+}
+
+func TestDumpIRCommand(t *testing.T) {
+	out, err := capture(t, []string{"dump-ir", writeProg(t, good)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "func main") || !strings.Contains(out, "ret") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestDumpLayoutCommand(t *testing.T) {
+	out, err := capture(t, []string{"dump-layout", writeProg(t, good)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"struct pt (natural)", "struct pt (packed)", "struct pt (boxed)", "union opt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("layout dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtCommand(t *testing.T) {
+	out, err := capture(t, []string{"fmt", writeProg(t, "(define   (main)\n   int64\n 1)")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(define (main) int64 1)") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"bogus", writeProg(t, good)}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"check"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"check", "/does/not/exist.bitc"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"check", writeProg(t, "(define")}); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if err := run([]string{"run", "-contracts", writeProg(t,
+		`(define (main) int64 (bad-call))`)}); err == nil {
+		t.Error("type error not surfaced")
+	}
+}
+
+func TestRunContractsFlag(t *testing.T) {
+	src := `
+	  (define (f (x int64)) int64 :requires (> x 5) x)
+	  (define (main) int64 (f 1))`
+	if err := run([]string{"run", "-contracts", writeProg(t, src)}); err == nil {
+		t.Error("contract violation not trapped")
+	}
+	if err := run([]string{"run", writeProg(t, src)}); err != nil {
+		t.Errorf("without -contracts: %v", err)
+	}
+}
+
+func TestVerifyFlags(t *testing.T) {
+	src := `(define (f (x int64)) int64 (/ 100 x))`
+	// Default: the div-by-zero VC fails.
+	if err := run([]string{"verify", writeProg(t, src)}); err == nil {
+		t.Error("unguarded division should fail verification")
+	}
+	// With -no-divzero it passes (nothing else to prove).
+	if err := run([]string{"verify", "-no-divzero", writeProg(t, src)}); err != nil {
+		t.Errorf("with -no-divzero: %v", err)
+	}
+}
+
+func TestVerifyLoopInvariantProgram(t *testing.T) {
+	src, err := os.ReadFile("../../examples/progs/contracts.bitc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rerr := capture(t, []string{"verify", writeProg(t, string(src))})
+	if rerr != nil {
+		t.Fatalf("verify failed: %v\n%s", rerr, out)
+	}
+	if !strings.Contains(out, "loop-invariant") {
+		t.Errorf("invariant VCs missing: %s", out)
+	}
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"bitc/internal/core"
+	"bitc/internal/opt"
+	"bitc/internal/vm"
+)
+
+// repl implements `bitc repl`: an interactive session that accumulates
+// definitions and evaluates expressions against them. Definitions that fail
+// to load are rejected and discarded; the session state is the growing list
+// of accepted definitions, re-checked as a whole on every input, so the REPL
+// can never wedge itself into an unloadable state.
+func repl(in io.Reader, out io.Writer) error {
+	fmt.Fprintln(out, "bitc repl — enter definitions or expressions; :quit to exit")
+	var defs []string
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var pending strings.Builder
+	for {
+		prompt := "bitc> "
+		if pending.Len() > 0 {
+			prompt = "  ... "
+		}
+		fmt.Fprint(out, prompt)
+		if !scanner.Scan() {
+			fmt.Fprintln(out)
+			return scanner.Err()
+		}
+		line := scanner.Text()
+		switch strings.TrimSpace(line) {
+		case ":quit", ":q":
+			return nil
+		case ":defs":
+			for _, d := range defs {
+				fmt.Fprintln(out, d)
+			}
+			continue
+		case ":reset":
+			defs = nil
+			pending.Reset()
+			fmt.Fprintln(out, "session cleared")
+			continue
+		case "":
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		text := pending.String()
+		if !balanced(text) {
+			continue // keep reading lines until the parens close
+		}
+		pending.Reset()
+		evalInput(out, &defs, strings.TrimSpace(text))
+	}
+}
+
+// balanced reports whether every opening paren/bracket has closed, ignoring
+// those inside strings and comments.
+func balanced(text string) bool {
+	depth := 0
+	inStr := false
+	inComment := false
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case inComment:
+			if c == '\n' {
+				inComment = false
+			}
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == ';':
+			inComment = true
+		case c == '(' || c == '[':
+			depth++
+		case c == ')' || c == ']':
+			depth--
+		}
+	}
+	return depth <= 0
+}
+
+func isDefinition(text string) bool {
+	for _, prefix := range []string{"(define", "(defstruct", "(defunion", "(external"} {
+		if strings.HasPrefix(text, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+const replFn = "repl-eval"
+
+func evalInput(out io.Writer, defs *[]string, text string) {
+	cfg := core.Config{Optimize: opt.O1, Stdout: out}
+	if isDefinition(text) {
+		candidate := append(append([]string{}, *defs...), text)
+		if _, err := core.Load("repl", strings.Join(candidate, "\n"), cfg); err != nil {
+			fmt.Fprintln(out, "error:", firstLine(err))
+			return
+		}
+		*defs = candidate
+		fmt.Fprintln(out, "defined")
+		return
+	}
+	// Expression: wrap it in a throwaway function and run it.
+	src := strings.Join(*defs, "\n") + fmt.Sprintf("\n(define (%s) %s)", replFn, text)
+	prog, err := core.Load("repl", src, cfg)
+	if err != nil {
+		fmt.Fprintln(out, "error:", firstLine(err))
+		return
+	}
+	val, _, err := prog.RunFunc(replFn)
+	if err != nil {
+		fmt.Fprintln(out, "error:", firstLine(err))
+		return
+	}
+	if val != (vm.Value{}) && val.String() != "()" {
+		fmt.Fprintln(out, val.String())
+	}
+}
+
+func firstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i > 0 {
+		return s[:i] + " …"
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func replSession(t *testing.T, input string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := repl(strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestReplEvaluatesExpressions(t *testing.T) {
+	out := replSession(t, "(+ 40 2)\n:quit\n")
+	if !strings.Contains(out, "42") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestReplAccumulatesDefinitions(t *testing.T) {
+	out := replSession(t, `(define (sq (x int64)) int64 (* x x))
+(sq 9)
+:quit
+`)
+	if !strings.Contains(out, "defined") || !strings.Contains(out, "81") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestReplStructsAndState(t *testing.T) {
+	out := replSession(t, `(defstruct p (x int64))
+(field (make p :x 7) x)
+:quit
+`)
+	if !strings.Contains(out, "7") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestReplRejectsBadDefinitionWithoutPoisoning(t *testing.T) {
+	out := replSession(t, `(define (bad) int64 "not an int")
+(+ 1 2)
+:quit
+`)
+	if !strings.Contains(out, "error:") {
+		t.Errorf("bad definition accepted: %q", out)
+	}
+	if !strings.Contains(out, "3") {
+		t.Errorf("session poisoned after rejected definition: %q", out)
+	}
+}
+
+func TestReplMultiLineInput(t *testing.T) {
+	out := replSession(t, `(define (fact (n int64)) int64
+  (if (= n 0)
+      1
+      (* n (fact (- n 1)))))
+(fact 5)
+:quit
+`)
+	if !strings.Contains(out, "120") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "...") {
+		t.Errorf("continuation prompt missing: %q", out)
+	}
+}
+
+func TestReplTrapReported(t *testing.T) {
+	out := replSession(t, "(/ 1 0)\n:quit\n")
+	if !strings.Contains(out, "division by zero") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestReplCommands(t *testing.T) {
+	out := replSession(t, `(define x int64 5)
+:defs
+:reset
+:defs
+:quit
+`)
+	if !strings.Contains(out, "(define x int64 5)") {
+		t.Errorf(":defs missing definition: %q", out)
+	}
+	if !strings.Contains(out, "session cleared") {
+		t.Errorf(":reset missing: %q", out)
+	}
+}
+
+func TestReplPrintSideEffects(t *testing.T) {
+	out := replSession(t, `(println "hello repl")
+:quit
+`)
+	if !strings.Contains(out, "hello repl") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestBalancedHelper(t *testing.T) {
+	cases := map[string]bool{
+		"(+ 1 2)":      true,
+		"(+ 1":         false,
+		`"(unclosed"`:  true, // paren inside string doesn't count
+		"; (comment\n": true,
+		"(f \"a)b\")":  true,
+		"(a (b (c)))":  true,
+		"(a [b)":       false,
+		"())":          true, // over-closed still submits (parser reports)
+	}
+	for text, want := range cases {
+		if got := balanced(text); got != want {
+			t.Errorf("balanced(%q) = %v, want %v", text, got, want)
+		}
+	}
+}

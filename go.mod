@@ -1,0 +1,3 @@
+module bitc
+
+go 1.22

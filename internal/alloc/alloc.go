@@ -1,0 +1,135 @@
+// Package alloc implements the storage-management substrate the paper's
+// challenge 2 ("idiomatic manual storage management") argues over: a
+// malloc-style freelist allocator, bump/arena and region allocation, and four
+// automatic schemes — reference counting, mark-sweep, semispace copying, and
+// generational collection — all over the simulated heap in internal/heap.
+//
+// Every allocator counts the work it does per operation (Stats.LastOpWork),
+// which gives deterministic latency distributions for experiment E6 in
+// addition to wall-clock measurements.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bitc/internal/heap"
+)
+
+// ErrOutOfMemory is returned when an allocator cannot satisfy a request.
+var ErrOutOfMemory = errors.New("alloc: out of memory")
+
+// Stats tracks allocator behaviour for the experiment tables.
+type Stats struct {
+	Allocs         uint64
+	Frees          uint64
+	BytesAllocated uint64
+	BytesFreed     uint64
+	Collections    uint64
+	BytesCopied    uint64
+	ObjectsMarked  uint64
+	Pauses         []time.Duration
+	WorkPerOp      []uint64 // work units per mutator-visible operation
+	LastOpWork     uint64
+}
+
+func (s *Stats) op(work uint64) {
+	s.LastOpWork = work
+	s.WorkPerOp = append(s.WorkPerOp, work)
+}
+
+// LiveBytes returns the current net allocation.
+func (s *Stats) LiveBytes() uint64 { return s.BytesAllocated - s.BytesFreed }
+
+// MaxPause returns the longest recorded collection pause.
+func (s *Stats) MaxPause() time.Duration {
+	var m time.Duration
+	for _, p := range s.Pauses {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// Allocator is the common mutator-facing interface. Pointer fields of an
+// object must be written through SetPtr so that collectors that need write
+// barriers (generational) or reference counts see the mutation.
+type Allocator interface {
+	Name() string
+	Heap() *heap.Heap
+	// Alloc creates an object with ptrCount pointer slots and dataBytes of
+	// raw data, zero-initialised.
+	Alloc(ptrCount, dataBytes int) (heap.Addr, error)
+	SetPtr(obj heap.Addr, slot int, v heap.Addr)
+	GetPtr(obj heap.Addr, slot int) heap.Addr
+	Stats() *Stats
+}
+
+// Freer is implemented by allocators with manual free (freelist, refcount's
+// internals).
+type Freer interface {
+	Free(a heap.Addr) error
+}
+
+// Collector is implemented by tracing collectors.
+type Collector interface {
+	Collect()
+}
+
+// Resetter is implemented by allocators that can release everything at once
+// (bump/arena, region).
+type Resetter interface {
+	Reset()
+}
+
+// Roots is the set of mutator root slots. Tracing and copying collectors
+// start from these, and copying collectors update them in place.
+type Roots struct {
+	slots []*heap.Addr
+}
+
+// Add registers a root slot. The pointed-to Addr may be rewritten by a
+// copying collector.
+func (r *Roots) Add(p *heap.Addr) { r.slots = append(r.slots, p) }
+
+// Remove unregisters a root slot.
+func (r *Roots) Remove(p *heap.Addr) {
+	for i, s := range r.slots {
+		if s == p {
+			r.slots[i] = r.slots[len(r.slots)-1]
+			r.slots = r.slots[:len(r.slots)-1]
+			return
+		}
+	}
+}
+
+// Len returns the number of registered roots.
+func (r *Roots) Len() int { return len(r.slots) }
+
+// ForEach visits every root slot.
+func (r *Roots) ForEach(fn func(*heap.Addr)) {
+	for _, s := range r.slots {
+		fn(s)
+	}
+}
+
+// plainPtrOps gives non-barrier allocators their SetPtr/GetPtr.
+type plainPtrOps struct{ h *heap.Heap }
+
+func (p plainPtrOps) SetPtr(obj heap.Addr, slot int, v heap.Addr) { p.h.SetPtrSlot(obj, slot, v) }
+func (p plainPtrOps) GetPtr(obj heap.Addr, slot int) heap.Addr    { return p.h.PtrSlot(obj, slot) }
+
+// checkRequest validates an allocation request and returns the rounded size.
+func checkRequest(ptrCount, dataBytes int) (int, error) {
+	if ptrCount < 0 || dataBytes < 0 {
+		return 0, fmt.Errorf("alloc: negative request (%d ptrs, %d bytes)", ptrCount, dataBytes)
+	}
+	size := heap.TotalSize(ptrCount, dataBytes)
+	if size < heap.HeaderSize+heap.PtrSize*2 {
+		// Guarantee room for a forwarding pointer even in tiny objects.
+		size = heap.HeaderSize + heap.PtrSize*2
+	}
+	return size, nil
+}

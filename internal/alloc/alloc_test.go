@@ -1,0 +1,638 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bitc/internal/heap"
+)
+
+// --- Bump -------------------------------------------------------------------
+
+func TestBumpBasics(t *testing.T) {
+	b := NewBump(1 << 12)
+	a1, err := b.Alloc(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := b.Alloc(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 || a2 <= a1 {
+		t.Fatalf("addresses %d %d", a1, a2)
+	}
+	if b.Stats().Allocs != 2 {
+		t.Errorf("allocs = %d", b.Stats().Allocs)
+	}
+	used := b.Used()
+	b.Reset()
+	if b.Used() != 0 || used == 0 {
+		t.Errorf("reset: used %d -> %d", used, b.Used())
+	}
+	// After reset the same addresses come back.
+	a3, _ := b.Alloc(0, 8)
+	if a3 != a1 {
+		t.Errorf("after reset got %d, want %d", a3, a1)
+	}
+}
+
+func TestBumpOOM(t *testing.T) {
+	b := NewBump(128)
+	var err error
+	for i := 0; i < 100; i++ {
+		if _, err = b.Alloc(0, 32); err != nil {
+			break
+		}
+	}
+	if err != ErrOutOfMemory {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBumpConstantWork(t *testing.T) {
+	b := NewBump(1 << 16)
+	for i := 0; i < 100; i++ {
+		if _, err := b.Alloc(1, 16); err != nil {
+			t.Fatal(err)
+		}
+		if b.Stats().LastOpWork != 1 {
+			t.Fatalf("bump work = %d, want 1", b.Stats().LastOpWork)
+		}
+	}
+}
+
+func TestBadRequest(t *testing.T) {
+	b := NewBump(1 << 12)
+	if _, err := b.Alloc(-1, 8); err == nil {
+		t.Error("negative ptrCount accepted")
+	}
+	if _, err := b.Alloc(0, -8); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+// --- FreeList ---------------------------------------------------------------
+
+func TestFreeListReuse(t *testing.T) {
+	f := NewFreeList(1 << 14)
+	a, err := f.Alloc(0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Alloc(0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("freed block not reused: %d then %d", a, b)
+	}
+}
+
+func TestFreeListDoubleFree(t *testing.T) {
+	f := NewFreeList(1 << 12)
+	a, _ := f.Alloc(0, 8)
+	if err := f.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(a); err != ErrDoubleFree {
+		t.Fatalf("double free -> %v", err)
+	}
+	if err := f.Free(heap.Nil); err != ErrBadFree {
+		t.Fatalf("nil free -> %v", err)
+	}
+	if err := f.Free(heap.Addr(1 << 20)); err != ErrBadFree {
+		t.Fatalf("wild free -> %v", err)
+	}
+}
+
+func TestFreeListSplitsLargeBlocks(t *testing.T) {
+	f := NewFreeList(1 << 14)
+	big, _ := f.Alloc(0, 480) // large block
+	if err := f.Free(big); err != nil {
+		t.Fatal(err)
+	}
+	small, err := f.Alloc(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small != big {
+		t.Errorf("first fit should reuse the big block head: %d vs %d", small, big)
+	}
+	// The tail must still be allocatable.
+	if _, err := f.Alloc(0, 400); err != nil {
+		t.Fatalf("split remainder lost: %v", err)
+	}
+}
+
+func TestFreeListCoalesceReclaimsFragmentedMemory(t *testing.T) {
+	f := NewFreeList(4096)
+	f.CoalesceEvery = 0 // manual control
+	var addrs []heap.Addr
+	for {
+		a, err := f.Alloc(0, 24)
+		if err != nil {
+			break
+		}
+		addrs = append(addrs, a)
+	}
+	for _, a := range addrs {
+		if err := f.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything is free but fragmented into 32-byte blocks; a large
+	// allocation must succeed via the coalesce-on-demand path.
+	if _, err := f.Alloc(0, 1024); err != nil {
+		t.Fatalf("large alloc after full free: %v", err)
+	}
+}
+
+func TestFreeListWorkVariance(t *testing.T) {
+	f := NewFreeList(1 << 18)
+	f.CoalesceEvery = 32
+	var live []heap.Addr
+	var maxWork, minWork uint64 = 0, ^uint64(0)
+	for i := 0; i < 2000; i++ {
+		a, err := f.Alloc(0, int(8+(i%7)*16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, a)
+		if len(live) > 64 {
+			idx := (i * 31) % len(live)
+			if err := f.Free(live[idx]); err != nil {
+				t.Fatal(err)
+			}
+			live[idx] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		w := f.Stats().LastOpWork
+		if w > maxWork {
+			maxWork = w
+		}
+		if w < minWork {
+			minWork = w
+		}
+	}
+	// The paper/slides claim: orders of magnitude between best and worst.
+	if maxWork < minWork*50 {
+		t.Errorf("expected large malloc work variance, got min=%d max=%d", minWork, maxWork)
+	}
+}
+
+// Property: freelist never hands out overlapping live blocks.
+func TestFreeListNoOverlap(t *testing.T) {
+	check := func(ops []uint16) bool {
+		f := NewFreeList(1 << 14)
+		live := map[heap.Addr]int{}
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 { // alloc
+				size := int(op%96) + 8
+				a, err := f.Alloc(0, size)
+				if err != nil {
+					continue
+				}
+				total := f.Heap().ObjSize(a)
+				for other, osz := range live {
+					if int(a) < int(other)+osz && int(other) < int(a)+total {
+						return false // overlap
+					}
+				}
+				live[a] = total
+			} else { // free one
+				for a := range live {
+					if f.Free(a) != nil {
+						return false
+					}
+					delete(live, a)
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Region -----------------------------------------------------------------
+
+func TestRegionNesting(t *testing.T) {
+	r := NewRegion(1 << 14)
+	outer, _ := r.Alloc(0, 16)
+	r.Enter()
+	inner, _ := r.Alloc(0, 16)
+	if !r.InRegion(inner) || !r.InRegion(outer) {
+		t.Fatal("live objects reported dead")
+	}
+	if err := r.Exit(); err != nil {
+		t.Fatal(err)
+	}
+	if r.InRegion(inner) {
+		t.Error("inner object survived region exit")
+	}
+	if !r.InRegion(outer) {
+		t.Error("outer object killed by inner region exit")
+	}
+	if r.Exit() != ErrNoRegion {
+		t.Error("exit without enter accepted")
+	}
+}
+
+func TestRegionReusesSpace(t *testing.T) {
+	r := NewRegion(4096)
+	for i := 0; i < 1000; i++ {
+		r.Enter()
+		if _, err := r.Alloc(0, 64); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if err := r.Exit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Depth() != 0 {
+		t.Errorf("depth = %d", r.Depth())
+	}
+}
+
+// --- RefCount ---------------------------------------------------------------
+
+func TestRefCountFreesAtZero(t *testing.T) {
+	r := NewRefCount(1 << 14)
+	a, _ := r.Alloc(0, 16)
+	if r.Live() != 1 {
+		t.Fatalf("live = %d", r.Live())
+	}
+	r.IncRef(a)
+	if freed := r.DecRef(a); freed != 0 {
+		t.Fatal("freed with refs remaining")
+	}
+	if freed := r.DecRef(a); freed != 1 {
+		t.Fatal("not freed at zero")
+	}
+	if r.Live() != 0 {
+		t.Errorf("live = %d", r.Live())
+	}
+}
+
+func TestRefCountCascade(t *testing.T) {
+	r := NewRefCount(1 << 14)
+	// Chain of 10: head -> n1 -> ... -> n9
+	var chain [10]heap.Addr
+	for i := 9; i >= 0; i-- {
+		a, err := r.Alloc(1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 9 {
+			r.Heap().SetPtrSlot(a, 0, chain[i+1])
+		}
+		chain[i] = a
+	}
+	if freed := r.DecRef(chain[0]); freed != 10 {
+		t.Fatalf("cascade freed %d, want 10", freed)
+	}
+	// Cascade work is proportional to chain length.
+	if r.Stats().LastOpWork < 10 {
+		t.Errorf("cascade work = %d", r.Stats().LastOpWork)
+	}
+}
+
+func TestRefCountSetPtrSemantics(t *testing.T) {
+	r := NewRefCount(1 << 14)
+	parent, _ := r.Alloc(1, 8)
+	child1, _ := r.Alloc(0, 8)
+	child2, _ := r.Alloc(0, 8)
+	r.SetPtr(parent, 0, child1)
+	r.DecRef(child1) // parent now sole owner
+	if r.Live() != 3 {
+		t.Fatalf("live = %d", r.Live())
+	}
+	r.SetPtr(parent, 0, child2) // child1 must die
+	if r.Live() != 3-1+0 {      // parent, child2(2 refs? no: alloc ref + parent ref), child1 gone
+		t.Fatalf("live after overwrite = %d, want 2? (parent, child2)", r.Live())
+	}
+	if r.GetPtr(parent, 0) != child2 {
+		t.Error("pointer not updated")
+	}
+}
+
+func TestRefCountCycleLeaks(t *testing.T) {
+	r := NewRefCount(1 << 14)
+	a, _ := r.Alloc(1, 8)
+	b, _ := r.Alloc(1, 8)
+	r.SetPtr(a, 0, b)
+	r.SetPtr(b, 0, a) // cycle
+	// Drop both external refs.
+	r.DecRef(a)
+	r.DecRef(b)
+	if r.Live() == 0 {
+		t.Fatal("cycle was collected by pure RC — impossible")
+	}
+	roots := &Roots{}
+	if leaked := r.LeakedCycles(roots); leaked != 2 {
+		t.Errorf("leaked = %d, want 2", leaked)
+	}
+}
+
+// --- MarkSweep ---------------------------------------------------------------
+
+func TestMarkSweepCollectsGarbage(t *testing.T) {
+	roots := &Roots{}
+	m := NewMarkSweep(1<<14, roots)
+	var keep heap.Addr
+	roots.Add(&keep)
+	keep, _ = m.Alloc(1, 8)
+	child, _ := m.Alloc(0, 8)
+	m.SetPtr(keep, 0, child)
+	for i := 0; i < 50; i++ {
+		if _, err := m.Alloc(0, 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.Stats().Frees
+	m.Collect()
+	if m.Stats().Frees-before < 50 {
+		t.Errorf("garbage not swept: %d frees", m.Stats().Frees-before)
+	}
+	// Reachable data survives with contents intact.
+	if m.GetPtr(keep, 0) != child {
+		t.Error("live pointer lost")
+	}
+	if m.Stats().Collections == 0 || m.Stats().MaxPause() == 0 {
+		t.Error("collection not recorded")
+	}
+}
+
+func TestMarkSweepRecyclesThroughPressure(t *testing.T) {
+	roots := &Roots{}
+	m := NewMarkSweep(8192, roots)
+	// Allocate far more than the heap holds; all garbage, so GC must keep up.
+	for i := 0; i < 5000; i++ {
+		if _, err := m.Alloc(0, 32); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if m.Stats().Collections == 0 {
+		t.Error("no collections under pressure")
+	}
+}
+
+func TestMarkSweepKeepsCycles(t *testing.T) {
+	roots := &Roots{}
+	m := NewMarkSweep(1<<14, roots)
+	var a heap.Addr
+	roots.Add(&a)
+	a, _ = m.Alloc(1, 8)
+	b, _ := m.Alloc(1, 8)
+	m.SetPtr(a, 0, b)
+	m.SetPtr(b, 0, a)
+	m.Collect()
+	if m.GetPtr(a, 0) != b || m.GetPtr(b, 0) != a {
+		t.Error("cycle broken by collection")
+	}
+}
+
+// --- Semispace ---------------------------------------------------------------
+
+func TestSemispaceCopyPreservesGraph(t *testing.T) {
+	roots := &Roots{}
+	s := NewSemispace(1<<14, roots)
+	var head heap.Addr
+	roots.Add(&head)
+
+	// Linked list of 10 with payload words i.
+	var prev heap.Addr = heap.Nil
+	for i := 9; i >= 0; i-- {
+		a, err := s.Alloc(1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Heap().SetPtrSlot(a, 0, prev)
+		s.Heap().WriteWord(a, 0, uint64(i))
+		prev = a
+	}
+	head = prev
+	oldHead := head
+	s.Collect()
+	if head == oldHead {
+		t.Fatal("root not updated by copy")
+	}
+	cur, i := head, 0
+	for cur != heap.Nil {
+		if got := s.Heap().ReadWord(cur, 0); got != uint64(i) {
+			t.Fatalf("node %d payload = %d", i, got)
+		}
+		cur = s.Heap().PtrSlot(cur, 0)
+		i++
+	}
+	if i != 10 {
+		t.Fatalf("list length = %d", i)
+	}
+	if s.Stats().BytesCopied == 0 {
+		t.Error("no copy accounting")
+	}
+}
+
+func TestSemispaceSharingPreserved(t *testing.T) {
+	roots := &Roots{}
+	s := NewSemispace(1<<14, roots)
+	var r1, r2 heap.Addr
+	roots.Add(&r1)
+	roots.Add(&r2)
+	shared, _ := s.Alloc(0, 8)
+	s.Heap().WriteWord(shared, 0, 777)
+	p1, _ := s.Alloc(1, 8)
+	p2, _ := s.Alloc(1, 8)
+	s.SetPtr(p1, 0, shared)
+	s.SetPtr(p2, 0, shared)
+	r1, r2 = p1, p2
+	s.Collect()
+	if s.GetPtr(r1, 0) != s.GetPtr(r2, 0) {
+		t.Fatal("shared object duplicated by copy")
+	}
+	if s.Heap().ReadWord(s.GetPtr(r1, 0), 0) != 777 {
+		t.Fatal("shared payload lost")
+	}
+}
+
+func TestSemispaceCyclesSurvive(t *testing.T) {
+	roots := &Roots{}
+	s := NewSemispace(1<<14, roots)
+	var a heap.Addr
+	roots.Add(&a)
+	a, _ = s.Alloc(1, 8)
+	b, _ := s.Alloc(1, 8)
+	s.SetPtr(a, 0, b)
+	s.SetPtr(b, 0, a)
+	s.Collect()
+	nb := s.GetPtr(a, 0)
+	if s.GetPtr(nb, 0) != a {
+		t.Fatal("cycle broken")
+	}
+}
+
+func TestSemispaceReclaimsGarbageAutomatically(t *testing.T) {
+	roots := &Roots{}
+	s := NewSemispace(8192, roots)
+	for i := 0; i < 5000; i++ {
+		if _, err := s.Alloc(0, 32); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if s.Stats().Collections == 0 {
+		t.Error("no collections happened")
+	}
+}
+
+// --- Generational -------------------------------------------------------------
+
+func TestGenerationalPromotion(t *testing.T) {
+	roots := &Roots{}
+	g := NewGenerational(1<<16, 1<<12, roots)
+	var head heap.Addr
+	roots.Add(&head)
+	head, _ = g.Alloc(1, 8)
+	g.Heap().WriteWord(head, 0, 11)
+	if !g.inNursery(head) {
+		t.Fatal("fresh object not in nursery")
+	}
+	g.Minor()
+	if g.inNursery(head) {
+		t.Fatal("live object not promoted")
+	}
+	if g.Heap().ReadWord(head, 0) != 11 {
+		t.Fatal("payload lost in promotion")
+	}
+}
+
+func TestGenerationalWriteBarrier(t *testing.T) {
+	roots := &Roots{}
+	g := NewGenerational(1<<16, 1<<12, roots)
+	var old heap.Addr
+	roots.Add(&old)
+	old, _ = g.Alloc(1, 8)
+	g.Minor() // old is now in the old generation
+	young, _ := g.Alloc(0, 8)
+	g.Heap().WriteWord(young, 0, 99)
+	g.SetPtr(old, 0, young) // must hit the barrier
+	if g.RememberedSetSize() != 1 {
+		t.Fatalf("remembered set = %d", g.RememberedSetSize())
+	}
+	g.Minor()
+	kid := g.GetPtr(old, 0)
+	if kid == heap.Nil || g.inNursery(kid) {
+		t.Fatal("young object lost despite remembered set")
+	}
+	if g.Heap().ReadWord(kid, 0) != 99 {
+		t.Fatal("payload lost")
+	}
+}
+
+func TestGenerationalMinorCheaperThanMajor(t *testing.T) {
+	roots := &Roots{}
+	g := NewGenerational(1<<18, 1<<12, roots)
+	// Stress: lots of short-lived garbage, a few survivors.
+	var survivors [8]heap.Addr
+	for i := range survivors {
+		roots.Add(&survivors[i])
+	}
+	for i := 0; i < 20000; i++ {
+		a, err := g.Alloc(0, 16)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if i%2500 == 0 {
+			survivors[i/2500] = a
+		}
+	}
+	g.Major()
+	if len(g.MinorPauses) == 0 || len(g.MajorPauses) == 0 {
+		t.Fatalf("pauses: minor=%d major=%d", len(g.MinorPauses), len(g.MajorPauses))
+	}
+	for _, s := range survivors {
+		if s != heap.Nil && g.inNursery(s) {
+			t.Error("survivor left in nursery after major GC")
+		}
+	}
+}
+
+func TestGenerationalLargeObjectsGoOld(t *testing.T) {
+	roots := &Roots{}
+	g := NewGenerational(1<<16, 1<<10, roots)
+	a, err := g.Alloc(0, 512) // > nursery/4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.inNursery(a) {
+		t.Error("large object allocated in nursery")
+	}
+}
+
+// --- Cross-allocator properties ----------------------------------------------
+
+func TestAllInterfacesSatisfied(t *testing.T) {
+	roots := &Roots{}
+	allocs := []Allocator{
+		NewBump(1 << 12),
+		NewFreeList(1 << 12),
+		NewRegion(1 << 12),
+		NewRefCount(1 << 12),
+		NewMarkSweep(1<<12, roots),
+		NewSemispace(1<<12, roots),
+		NewGenerational(1<<14, 1<<10, roots),
+	}
+	seen := map[string]bool{}
+	for _, a := range allocs {
+		if a.Name() == "" || a.Heap() == nil || a.Stats() == nil {
+			t.Errorf("%T: incomplete interface", a)
+		}
+		if seen[a.Name()] {
+			t.Errorf("duplicate allocator name %s", a.Name())
+		}
+		seen[a.Name()] = true
+		obj, err := a.Alloc(1, 8)
+		if err != nil {
+			t.Errorf("%s: %v", a.Name(), err)
+			continue
+		}
+		a.SetPtr(obj, 0, obj)
+		if a.GetPtr(obj, 0) != obj {
+			t.Errorf("%s: SetPtr/GetPtr broken", a.Name())
+		}
+	}
+	var _ Freer = NewFreeList(64)
+	var _ Collector = NewMarkSweep(64, roots)
+	var _ Collector = NewSemispace(64, roots)
+	var _ Resetter = NewBump(64)
+}
+
+func TestRootsAddRemove(t *testing.T) {
+	r := &Roots{}
+	var a, b heap.Addr = 1, 2
+	r.Add(&a)
+	r.Add(&b)
+	if r.Len() != 2 {
+		t.Fatal("len")
+	}
+	r.Remove(&a)
+	count := 0
+	r.ForEach(func(p *heap.Addr) {
+		count++
+		if p != &b {
+			t.Error("wrong root left")
+		}
+	})
+	if count != 1 {
+		t.Errorf("count = %d", count)
+	}
+	r.Remove(&a) // removing absent root is a no-op
+	if r.Len() != 1 {
+		t.Error("len after redundant remove")
+	}
+}

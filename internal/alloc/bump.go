@@ -1,0 +1,61 @@
+package alloc
+
+import (
+	"bitc/internal/heap"
+)
+
+// Bump is the simplest allocator: a pointer that only moves forward.
+// Individual objects cannot be freed; Reset releases everything. This is the
+// arena discipline ubiquitous in kernels and servers, and the baseline the
+// paper's predictability argument rests on: every allocation costs exactly
+// the same.
+type Bump struct {
+	plainPtrOps
+	h     *heap.Heap
+	next  int
+	stats Stats
+}
+
+// NewBump creates a bump allocator over a fresh heap of heapSize bytes.
+func NewBump(heapSize int) *Bump {
+	h := heap.New(heapSize)
+	return &Bump{plainPtrOps: plainPtrOps{h}, h: h, next: heap.HeaderSize}
+}
+
+// Name implements Allocator.
+func (b *Bump) Name() string { return "bump" }
+
+// Heap implements Allocator.
+func (b *Bump) Heap() *heap.Heap { return b.h }
+
+// Stats implements Allocator.
+func (b *Bump) Stats() *Stats { return &b.stats }
+
+// Alloc implements Allocator. O(1), constant work.
+func (b *Bump) Alloc(ptrCount, dataBytes int) (heap.Addr, error) {
+	size, err := checkRequest(ptrCount, dataBytes)
+	if err != nil {
+		return heap.Nil, err
+	}
+	if b.next+size > b.h.Size() {
+		return heap.Nil, ErrOutOfMemory
+	}
+	a := heap.Addr(b.next)
+	b.next += size
+	b.h.InitObject(a, size, ptrCount, 0)
+	b.stats.Allocs++
+	b.stats.BytesAllocated += uint64(size)
+	b.stats.op(1)
+	return a, nil
+}
+
+// Reset releases the whole arena in O(1).
+func (b *Bump) Reset() {
+	b.stats.Frees += b.stats.Allocs - b.stats.Frees
+	b.stats.BytesFreed = b.stats.BytesAllocated
+	b.next = heap.HeaderSize
+	b.stats.op(1)
+}
+
+// Used reports the bytes currently allocated.
+func (b *Bump) Used() int { return b.next - heap.HeaderSize }

@@ -1,0 +1,255 @@
+package alloc
+
+import (
+	"encoding/binary"
+
+	"bitc/internal/heap"
+)
+
+// FreeList is a malloc/free-style allocator: segregated free lists for small
+// size classes, a first-fit list for large blocks, block splitting, and
+// periodic address-ordered coalescing of adjacent free blocks.
+//
+// The coalescing sweeps are what give real mallocs their long latency tail —
+// the "calls to malloc()/free() can vary in execution time by several orders
+// of magnitude" behaviour the course slides attribute to manual management.
+// They run every CoalesceEvery frees, walking the whole allocated prefix.
+type FreeList struct {
+	plainPtrOps
+	h        *heap.Heap
+	start    int // first usable byte of this allocator's range
+	limit    int // one past the last usable byte
+	frontier int // bump frontier for never-recycled space
+	bins     map[int][]heap.Addr
+	large    []heap.Addr
+	stats    Stats
+
+	freeCount int
+	// CoalesceEvery controls how often the address-ordered coalescing pass
+	// runs (every Nth free). Zero disables coalescing.
+	CoalesceEvery int
+}
+
+const maxSmallClass = 256
+
+// NewFreeList creates a malloc-style allocator over a fresh heap.
+func NewFreeList(heapSize int) *FreeList {
+	h := heap.New(heapSize)
+	return NewFreeListRange(h, heap.HeaderSize, h.Size())
+}
+
+// NewFreeListRange creates a freelist allocator managing [start, limit) of an
+// existing heap — used by collectors that carve a shared heap into spaces.
+func NewFreeListRange(h *heap.Heap, start, limit int) *FreeList {
+	if start < heap.HeaderSize {
+		start = heap.HeaderSize
+	}
+	return &FreeList{
+		plainPtrOps:   plainPtrOps{h},
+		h:             h,
+		start:         start,
+		limit:         limit,
+		frontier:      start,
+		bins:          map[int][]heap.Addr{},
+		CoalesceEvery: 64,
+	}
+}
+
+// Name implements Allocator.
+func (f *FreeList) Name() string { return "freelist" }
+
+// Heap implements Allocator.
+func (f *FreeList) Heap() *heap.Heap { return f.h }
+
+// Stats implements Allocator.
+func (f *FreeList) Stats() *Stats { return &f.stats }
+
+// blockSize reads the size stored in a (possibly free) block header.
+func (f *FreeList) blockSize(a heap.Addr) int {
+	return int(binary.LittleEndian.Uint32(f.h.Mem[a:]))
+}
+
+func (f *FreeList) setBlock(a heap.Addr, size int, free bool) {
+	binary.LittleEndian.PutUint32(f.h.Mem[a:], uint32(size))
+	binary.LittleEndian.PutUint16(f.h.Mem[a+4:], 0)
+	flags := uint16(0)
+	if free {
+		flags = heap.FlagFree
+	}
+	binary.LittleEndian.PutUint16(f.h.Mem[a+6:], flags)
+}
+
+func (f *FreeList) pushFree(a heap.Addr, size int) {
+	f.setBlock(a, size, true)
+	if size <= maxSmallClass {
+		f.bins[size] = append(f.bins[size], a)
+	} else {
+		f.large = append(f.large, a)
+	}
+}
+
+// Alloc implements Allocator.
+func (f *FreeList) Alloc(ptrCount, dataBytes int) (heap.Addr, error) {
+	size, err := checkRequest(ptrCount, dataBytes)
+	if err != nil {
+		return heap.Nil, err
+	}
+	work := uint64(1)
+
+	// Exact small bin.
+	if size <= maxSmallClass {
+		if bin := f.bins[size]; len(bin) > 0 {
+			a := bin[len(bin)-1]
+			f.bins[size] = bin[:len(bin)-1]
+			f.finishAlloc(a, size, ptrCount, work)
+			return a, nil
+		}
+		// Search larger bins, splitting the first fit.
+		for cls := size + 8; cls <= maxSmallClass; cls += 8 {
+			work++
+			if bin := f.bins[cls]; len(bin) > 0 {
+				a := bin[len(bin)-1]
+				f.bins[cls] = bin[:len(bin)-1]
+				f.finishAlloc(a, f.split(a, cls, size), ptrCount, work)
+				return a, nil
+			}
+		}
+	}
+	// First fit in the large list.
+	for i, a := range f.large {
+		work++
+		bs := f.blockSize(a)
+		if bs >= size {
+			f.large[i] = f.large[len(f.large)-1]
+			f.large = f.large[:len(f.large)-1]
+			f.finishAlloc(a, f.split(a, bs, size), ptrCount, work)
+			return a, nil
+		}
+	}
+	// Fresh space from the frontier.
+	if f.frontier+size <= f.limit {
+		a := heap.Addr(f.frontier)
+		f.frontier += size
+		f.finishAlloc(a, size, ptrCount, work)
+		return a, nil
+	}
+	// Last resort: full coalesce, then retry the free lists and the (possibly
+	// lowered) frontier once.
+	work += f.coalesce()
+	if a, asize := f.retryAfterCoalesce(size); a != heap.Nil {
+		f.finishAlloc(a, asize, ptrCount, work)
+		return a, nil
+	}
+	if f.frontier+size <= f.limit {
+		a := heap.Addr(f.frontier)
+		f.frontier += size
+		f.finishAlloc(a, size, ptrCount, work)
+		return a, nil
+	}
+	f.stats.op(work)
+	return heap.Nil, ErrOutOfMemory
+}
+
+func (f *FreeList) retryAfterCoalesce(size int) (heap.Addr, int) {
+	if size <= maxSmallClass {
+		if bin := f.bins[size]; len(bin) > 0 {
+			a := bin[len(bin)-1]
+			f.bins[size] = bin[:len(bin)-1]
+			return a, size
+		}
+	}
+	for i, a := range f.large {
+		bs := f.blockSize(a)
+		if bs >= size {
+			f.large[i] = f.large[len(f.large)-1]
+			f.large = f.large[:len(f.large)-1]
+			return a, f.split(a, bs, size)
+		}
+	}
+	return heap.Nil, 0
+}
+
+// split cuts block a (of blockSize) down to want, returning the tail to the
+// free lists when it is big enough to be useful. It returns the size the
+// allocation must record in its header: when the remainder is too small to
+// recycle it stays attached as internal fragmentation, and the header has to
+// cover it so address-order heap walks stay parseable.
+func (f *FreeList) split(a heap.Addr, blockSize, want int) int {
+	rest := blockSize - want
+	if rest >= 16 {
+		f.pushFree(a+heap.Addr(want), rest)
+		return want
+	}
+	return blockSize
+}
+
+func (f *FreeList) finishAlloc(a heap.Addr, size, ptrCount int, work uint64) {
+	// The block header may carry a stale (larger) size from a split remnant;
+	// recompute the real extent for accounting.
+	f.h.InitObject(a, size, ptrCount, 0)
+	f.stats.Allocs++
+	f.stats.BytesAllocated += uint64(size)
+	f.stats.op(work)
+}
+
+// Free implements Freer.
+func (f *FreeList) Free(a heap.Addr) error {
+	if a == heap.Nil || int(a) >= f.frontier {
+		return ErrBadFree
+	}
+	if f.h.Flags(a)&heap.FlagFree != 0 {
+		return ErrDoubleFree
+	}
+	size := f.h.ObjSize(a)
+	f.pushFree(a, size)
+	f.stats.Frees++
+	f.stats.BytesFreed += uint64(size)
+	work := uint64(1)
+	f.freeCount++
+	if f.CoalesceEvery > 0 && f.freeCount%f.CoalesceEvery == 0 {
+		work += f.coalesce()
+	}
+	f.stats.op(work)
+	return nil
+}
+
+// coalesce walks the allocated prefix in address order, merging runs of
+// adjacent free blocks and rebuilding the free lists. Returns work done.
+func (f *FreeList) coalesce() uint64 {
+	work := uint64(0)
+	f.bins = map[int][]heap.Addr{}
+	f.large = f.large[:0]
+	pos := f.start
+	for pos < f.frontier {
+		work++
+		a := heap.Addr(pos)
+		size := f.blockSize(a)
+		if size <= 0 {
+			break // corrupted; stop rather than loop forever
+		}
+		if f.h.Flags(a)&heap.FlagFree != 0 {
+			// Merge following free blocks.
+			end := pos + size
+			for end < f.frontier {
+				na := heap.Addr(end)
+				ns := f.blockSize(na)
+				if ns <= 0 || f.h.Flags(na)&heap.FlagFree == 0 {
+					break
+				}
+				end += ns
+				work++
+			}
+			merged := end - pos
+			if end == f.frontier {
+				// Free block at the very top: give it back to the frontier.
+				f.frontier = pos
+			} else {
+				f.pushFree(a, merged)
+			}
+			pos = end
+			continue
+		}
+		pos += size
+	}
+	return work
+}

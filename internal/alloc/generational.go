@@ -1,0 +1,273 @@
+package alloc
+
+import (
+	"encoding/binary"
+	"time"
+
+	"bitc/internal/heap"
+)
+
+// Generational combines a bump-allocated nursery with a mark-sweep old
+// generation. Minor collections copy the live nursery graph into the old
+// generation (everything that survives one collection is promoted); a write
+// barrier on SetPtr maintains the remembered set of old objects that point
+// into the nursery. Major collections mark-and-sweep the old generation.
+//
+// This is the design the course slides describe as making GC overhead "more
+// acceptable": most pauses are proportional only to nursery survivors.
+type Generational struct {
+	h          *heap.Heap
+	roots      *Roots
+	nursery    int // nursery is [HeaderSize, nursery); old gen is [nursery+8, size)
+	next       int // nursery bump pointer
+	old        *FreeList
+	remembered map[heap.Addr]bool
+	stats      Stats
+
+	// MajorThreshold triggers a major collection when old-gen allocated bytes
+	// since the last major exceed it.
+	MajorThreshold uint64
+	oldSinceMajor  uint64
+
+	MinorPauses []time.Duration
+	MajorPauses []time.Duration
+}
+
+// NewGenerational creates a generational heap; nurserySize bytes of nursery
+// within a heapSize total.
+func NewGenerational(heapSize, nurserySize int, roots *Roots) *Generational {
+	if nurserySize >= heapSize/2 {
+		nurserySize = heapSize / 4
+	}
+	h := heap.New(heapSize)
+	g := &Generational{
+		h:          h,
+		roots:      roots,
+		nursery:    nurserySize,
+		next:       heap.HeaderSize,
+		remembered: map[heap.Addr]bool{},
+	}
+	g.old = NewFreeListRange(h, nurserySize+heap.HeaderSize, heapSize)
+	g.old.CoalesceEvery = 0
+	g.MajorThreshold = uint64(heapSize-nurserySize) / 2
+	return g
+}
+
+// Name implements Allocator.
+func (g *Generational) Name() string { return "generational" }
+
+// Heap implements Allocator.
+func (g *Generational) Heap() *heap.Heap { return g.h }
+
+// Stats implements Allocator.
+func (g *Generational) Stats() *Stats { return &g.stats }
+
+func (g *Generational) inNursery(a heap.Addr) bool {
+	return a != heap.Nil && int(a) < g.nursery
+}
+
+// SetPtr implements Allocator with the generational write barrier.
+func (g *Generational) SetPtr(obj heap.Addr, slot int, v heap.Addr) {
+	g.h.SetPtrSlot(obj, slot, v)
+	if !g.inNursery(obj) && g.inNursery(v) {
+		g.remembered[obj] = true
+	}
+}
+
+// GetPtr implements Allocator.
+func (g *Generational) GetPtr(obj heap.Addr, slot int) heap.Addr {
+	return g.h.PtrSlot(obj, slot)
+}
+
+// RememberedSetSize reports the current remembered-set cardinality.
+func (g *Generational) RememberedSetSize() int { return len(g.remembered) }
+
+// Alloc implements Allocator: bump in the nursery, minor-collect when full.
+// Objects too large for the nursery go straight to the old generation.
+func (g *Generational) Alloc(ptrCount, dataBytes int) (heap.Addr, error) {
+	size, err := checkRequest(ptrCount, dataBytes)
+	if err != nil {
+		return heap.Nil, err
+	}
+	if size > g.nursery/4 {
+		return g.allocOld(ptrCount, dataBytes)
+	}
+	if g.next+size > g.nursery {
+		g.Minor()
+		if g.next+size > g.nursery {
+			return heap.Nil, ErrOutOfMemory
+		}
+	}
+	a := heap.Addr(g.next)
+	g.next += size
+	g.h.InitObject(a, size, ptrCount, 0)
+	g.stats.Allocs++
+	g.stats.BytesAllocated += uint64(size)
+	g.stats.op(1)
+	return a, nil
+}
+
+func (g *Generational) allocOld(ptrCount, dataBytes int) (heap.Addr, error) {
+	a, err := g.old.Alloc(ptrCount, dataBytes)
+	if err == ErrOutOfMemory {
+		g.Major()
+		a, err = g.old.Alloc(ptrCount, dataBytes)
+	}
+	if err != nil {
+		return heap.Nil, err
+	}
+	size := uint64(g.h.ObjSize(a))
+	g.oldSinceMajor += size
+	g.stats.Allocs++
+	g.stats.BytesAllocated += size
+	g.stats.op(g.old.stats.LastOpWork)
+	return a, nil
+}
+
+func (g *Generational) forwardAddr(a heap.Addr) heap.Addr {
+	return heap.Addr(binary.LittleEndian.Uint32(g.h.Mem[int(a)+heap.HeaderSize:]))
+}
+
+func (g *Generational) setForward(a, to heap.Addr) {
+	g.h.SetFlags(a, g.h.Flags(a)|heap.FlagForwarded)
+	binary.LittleEndian.PutUint32(g.h.Mem[int(a)+heap.HeaderSize:], uint32(to))
+}
+
+// promote copies a nursery object into the old generation, returning its new
+// address; already-promoted objects return their forward.
+func (g *Generational) promote(a heap.Addr, queue *[]heap.Addr) heap.Addr {
+	if !g.inNursery(a) {
+		return a
+	}
+	if g.h.Flags(a)&heap.FlagForwarded != 0 {
+		return g.forwardAddr(a)
+	}
+	size := g.h.ObjSize(a)
+	ptrs := g.h.PtrCount(a)
+	to, err := g.old.Alloc(ptrs, size-heap.HeaderSize-ptrs*heap.PtrSize)
+	if err != nil {
+		// Old gen full: major-collect and retry once. If it still fails the
+		// object is lost — surfaced through stats as a failed promotion.
+		g.Major()
+		to, err = g.old.Alloc(ptrs, size-heap.HeaderSize-ptrs*heap.PtrSize)
+		if err != nil {
+			return heap.Nil
+		}
+	}
+	copy(g.h.Mem[int(to)+heap.HeaderSize:int(to)+size], g.h.Mem[int(a)+heap.HeaderSize:int(a)+size])
+	g.setForward(a, to)
+	g.stats.BytesCopied += uint64(size)
+	// Promotion re-allocates the object in the old generation: count it, so
+	// the eventual major-GC free balances and LiveBytes stays meaningful.
+	g.stats.BytesAllocated += uint64(size)
+	g.oldSinceMajor += uint64(size)
+	*queue = append(*queue, to)
+	return to
+}
+
+// Minor runs a nursery collection: roots and remembered-set slots are
+// forwarded, survivors are promoted, and the nursery resets to empty.
+func (g *Generational) Minor() {
+	start := time.Now()
+	var queue []heap.Addr
+
+	g.roots.ForEach(func(p *heap.Addr) {
+		*p = g.promote(*p, &queue)
+	})
+	for obj := range g.remembered {
+		n := g.h.PtrCount(obj)
+		for i := 0; i < n; i++ {
+			child := g.h.PtrSlot(obj, i)
+			if g.inNursery(child) {
+				g.h.SetPtrSlot(obj, i, g.promote(child, &queue))
+			}
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		n := g.h.PtrCount(obj)
+		for i := 0; i < n; i++ {
+			child := g.h.PtrSlot(obj, i)
+			if g.inNursery(child) {
+				g.h.SetPtrSlot(obj, i, g.promote(child, &queue))
+			}
+		}
+	}
+
+	reclaimed := g.next - heap.HeaderSize
+	g.stats.BytesFreed += uint64(reclaimed) // copied-out bytes were re-counted in old gen
+	g.next = heap.HeaderSize
+	g.remembered = map[heap.Addr]bool{}
+	g.stats.Collections++
+	p := time.Since(start)
+	g.stats.Pauses = append(g.stats.Pauses, p)
+	g.MinorPauses = append(g.MinorPauses, p)
+
+	if g.oldSinceMajor >= g.MajorThreshold {
+		g.Major()
+	}
+}
+
+// Major runs a full mark-sweep over the old generation. The nursery must be
+// empty (Minor runs first if not).
+func (g *Generational) Major() {
+	if g.next != heap.HeaderSize {
+		g.Minor()
+	}
+	start := time.Now()
+
+	// Mark from roots.
+	var stack []heap.Addr
+	g.roots.ForEach(func(p *heap.Addr) {
+		if *p != heap.Nil {
+			stack = append(stack, *p)
+		}
+	})
+	for len(stack) > 0 {
+		obj := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		fl := g.h.Flags(obj)
+		if fl&(heap.FlagMark|heap.FlagFree) != 0 {
+			continue
+		}
+		g.h.SetFlags(obj, fl|heap.FlagMark)
+		g.stats.ObjectsMarked++
+		n := g.h.PtrCount(obj)
+		for i := 0; i < n; i++ {
+			if c := g.h.PtrSlot(obj, i); c != heap.Nil {
+				stack = append(stack, c)
+			}
+		}
+	}
+
+	// Sweep the old generation.
+	g.old.bins = map[int][]heap.Addr{}
+	g.old.large = g.old.large[:0]
+	pos := g.old.start
+	for pos < g.old.frontier {
+		a := heap.Addr(pos)
+		size := g.old.blockSize(a)
+		if size <= 0 {
+			break
+		}
+		fl := g.h.Flags(a)
+		switch {
+		case fl&heap.FlagMark != 0:
+			g.h.SetFlags(a, fl&^heap.FlagMark)
+		case fl&heap.FlagFree != 0:
+			g.old.pushFree(a, size)
+		default:
+			g.old.pushFree(a, size)
+			g.stats.Frees++
+			g.stats.BytesFreed += uint64(size)
+		}
+		pos += size
+	}
+	g.old.coalesce()
+
+	g.oldSinceMajor = 0
+	p := time.Since(start)
+	g.stats.Pauses = append(g.stats.Pauses, p)
+	g.MajorPauses = append(g.MajorPauses, p)
+}

@@ -1,0 +1,134 @@
+package alloc
+
+import (
+	"time"
+
+	"bitc/internal/heap"
+)
+
+// MarkSweep is a stop-the-world tracing collector: allocation uses an
+// embedded freelist; when a collection threshold is crossed it marks every
+// object reachable from the roots and sweeps the rest onto the free lists.
+// Pause time is proportional to heap walk + live set — the classic trade-off
+// systems programmers distrust, reproduced measurably.
+type MarkSweep struct {
+	backend *FreeList
+	roots   *Roots
+	stats   Stats
+
+	// GCThreshold triggers a collection when bytes allocated since the last
+	// collection exceed it.
+	GCThreshold uint64
+	sinceLastGC uint64
+}
+
+// NewMarkSweep creates a mark-sweep collected heap; roots must contain every
+// mutator reference before a collection can run.
+func NewMarkSweep(heapSize int, roots *Roots) *MarkSweep {
+	f := NewFreeList(heapSize)
+	f.CoalesceEvery = 0 // sweeping handles consolidation
+	return &MarkSweep{backend: f, roots: roots, GCThreshold: uint64(heapSize) / 4}
+}
+
+// Name implements Allocator.
+func (m *MarkSweep) Name() string { return "mark-sweep" }
+
+// Heap implements Allocator.
+func (m *MarkSweep) Heap() *heap.Heap { return m.backend.Heap() }
+
+// Stats implements Allocator.
+func (m *MarkSweep) Stats() *Stats { return &m.stats }
+
+// SetPtr implements Allocator (no barrier needed for non-moving full GC).
+func (m *MarkSweep) SetPtr(obj heap.Addr, slot int, v heap.Addr) {
+	m.Heap().SetPtrSlot(obj, slot, v)
+}
+
+// GetPtr implements Allocator.
+func (m *MarkSweep) GetPtr(obj heap.Addr, slot int) heap.Addr {
+	return m.Heap().PtrSlot(obj, slot)
+}
+
+// Alloc implements Allocator, collecting when the threshold is crossed or
+// memory is exhausted.
+func (m *MarkSweep) Alloc(ptrCount, dataBytes int) (heap.Addr, error) {
+	if m.sinceLastGC >= m.GCThreshold {
+		m.Collect()
+	}
+	a, err := m.backend.Alloc(ptrCount, dataBytes)
+	if err == ErrOutOfMemory {
+		m.Collect()
+		a, err = m.backend.Alloc(ptrCount, dataBytes)
+	}
+	if err != nil {
+		return heap.Nil, err
+	}
+	size := uint64(m.Heap().ObjSize(a))
+	m.sinceLastGC += size
+	m.stats.Allocs++
+	m.stats.BytesAllocated += size
+	m.stats.op(m.backend.stats.LastOpWork)
+	return a, nil
+}
+
+// Collect implements Collector: mark from roots, sweep everything else.
+func (m *MarkSweep) Collect() {
+	start := time.Now()
+	h := m.Heap()
+
+	// Mark phase.
+	marked := uint64(0)
+	var stack []heap.Addr
+	m.roots.ForEach(func(p *heap.Addr) {
+		if *p != heap.Nil {
+			stack = append(stack, *p)
+		}
+	})
+	for len(stack) > 0 {
+		obj := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		fl := h.Flags(obj)
+		if fl&(heap.FlagMark|heap.FlagFree) != 0 {
+			continue
+		}
+		h.SetFlags(obj, fl|heap.FlagMark)
+		marked++
+		n := h.PtrCount(obj)
+		for i := 0; i < n; i++ {
+			if c := h.PtrSlot(obj, i); c != heap.Nil {
+				stack = append(stack, c)
+			}
+		}
+	}
+	m.stats.ObjectsMarked += marked
+
+	// Sweep phase: walk the allocated prefix in address order; anything
+	// unmarked and not already free is garbage.
+	m.backend.bins = map[int][]heap.Addr{}
+	m.backend.large = m.backend.large[:0]
+	pos := m.backend.start
+	for pos < m.backend.frontier {
+		a := heap.Addr(pos)
+		size := m.backend.blockSize(a)
+		if size <= 0 {
+			break
+		}
+		fl := h.Flags(a)
+		switch {
+		case fl&heap.FlagMark != 0:
+			h.SetFlags(a, fl&^heap.FlagMark)
+		case fl&heap.FlagFree != 0:
+			m.backend.pushFree(a, size)
+		default:
+			m.backend.pushFree(a, size)
+			m.stats.Frees++
+			m.stats.BytesFreed += uint64(size)
+		}
+		pos += size
+	}
+	m.backend.coalesce()
+
+	m.sinceLastGC = 0
+	m.stats.Collections++
+	m.stats.Pauses = append(m.stats.Pauses, time.Since(start))
+}

@@ -1,0 +1,151 @@
+package alloc
+
+import (
+	"bitc/internal/heap"
+)
+
+// RefCount implements automatic reference counting over a freelist backend.
+// Pointer writes through SetPtr adjust counts; when a count reaches zero the
+// object is freed and its children decremented, so a single release can
+// cascade — the incremental-but-occasionally-bursty behaviour surveyed in
+// Wilson's GC taxonomy. Cyclic garbage is never reclaimed (LeakedCycles
+// estimates it on demand), which is exactly the classic limitation.
+type RefCount struct {
+	backend *FreeList
+	counts  map[heap.Addr]int32
+	stats   Stats
+}
+
+// NewRefCount creates a reference-counting allocator over a fresh heap.
+func NewRefCount(heapSize int) *RefCount {
+	f := NewFreeList(heapSize)
+	f.CoalesceEvery = 0 // cascades are the interesting cost here
+	return &RefCount{backend: f, counts: map[heap.Addr]int32{}}
+}
+
+// Name implements Allocator.
+func (r *RefCount) Name() string { return "refcount" }
+
+// Heap implements Allocator.
+func (r *RefCount) Heap() *heap.Heap { return r.backend.Heap() }
+
+// Stats implements Allocator.
+func (r *RefCount) Stats() *Stats { return &r.stats }
+
+// Alloc implements Allocator; the new object has reference count 1 (owned by
+// the caller).
+func (r *RefCount) Alloc(ptrCount, dataBytes int) (heap.Addr, error) {
+	a, err := r.backend.Alloc(ptrCount, dataBytes)
+	if err != nil {
+		return heap.Nil, err
+	}
+	r.counts[a] = 1
+	r.stats.Allocs++
+	r.stats.BytesAllocated += uint64(r.Heap().ObjSize(a))
+	r.stats.op(1)
+	return a, nil
+}
+
+// IncRef takes an additional reference.
+func (r *RefCount) IncRef(a heap.Addr) {
+	if a != heap.Nil {
+		r.counts[a]++
+	}
+}
+
+// DecRef releases a reference, freeing (and cascading) at zero. Returns the
+// number of objects freed.
+func (r *RefCount) DecRef(a heap.Addr) int {
+	freed := 0
+	work := uint64(1)
+	var stack []heap.Addr
+	if a != heap.Nil {
+		stack = append(stack, a)
+	}
+	for len(stack) > 0 {
+		obj := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c, ok := r.counts[obj]
+		if !ok {
+			continue
+		}
+		c--
+		work++
+		if c > 0 {
+			r.counts[obj] = c
+			continue
+		}
+		// Count reached zero: release children, then the object.
+		n := r.Heap().PtrCount(obj)
+		for i := 0; i < n; i++ {
+			if child := r.Heap().PtrSlot(obj, i); child != heap.Nil {
+				stack = append(stack, child)
+			}
+		}
+		delete(r.counts, obj)
+		size := r.Heap().ObjSize(obj)
+		if err := r.backend.Free(obj); err == nil {
+			freed++
+			r.stats.Frees++
+			r.stats.BytesFreed += uint64(size)
+		}
+	}
+	r.stats.op(work)
+	return freed
+}
+
+// SetPtr implements Allocator with counted semantics: the new target gains a
+// reference and the previous target loses one.
+func (r *RefCount) SetPtr(obj heap.Addr, slot int, v heap.Addr) {
+	old := r.Heap().PtrSlot(obj, slot)
+	if old == v {
+		return
+	}
+	r.IncRef(v)
+	r.Heap().SetPtrSlot(obj, slot, v)
+	if old != heap.Nil {
+		r.DecRef(old)
+	}
+}
+
+// GetPtr implements Allocator.
+func (r *RefCount) GetPtr(obj heap.Addr, slot int) heap.Addr {
+	return r.Heap().PtrSlot(obj, slot)
+}
+
+// Live returns the number of objects with a non-zero count.
+func (r *RefCount) Live() int { return len(r.counts) }
+
+// LeakedCycles estimates cyclic garbage: objects that still hold a count but
+// are unreachable from the given roots. This is the diagnostic a real RC
+// system pairs with a backup tracer.
+func (r *RefCount) LeakedCycles(roots *Roots) int {
+	reach := map[heap.Addr]bool{}
+	var stack []heap.Addr
+	roots.ForEach(func(p *heap.Addr) {
+		if *p != heap.Nil {
+			stack = append(stack, *p)
+		}
+	})
+	for len(stack) > 0 {
+		obj := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[obj] {
+			continue
+		}
+		reach[obj] = true
+		n := r.Heap().PtrCount(obj)
+		for i := 0; i < n; i++ {
+			if c := r.Heap().PtrSlot(obj, i); c != heap.Nil && !reach[c] {
+				stack = append(stack, c)
+			}
+		}
+	}
+	leaked := 0
+	for a := range r.counts {
+		if !reach[a] {
+			leaked++
+		}
+	}
+	return leaked
+}

@@ -1,0 +1,96 @@
+package ast
+
+// Walk calls fn for every expression reachable from e in pre-order.
+// If fn returns false the subtree below the current node is skipped.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	walkChildren(e, fn)
+}
+
+// WalkDef walks every expression under a top-level definition.
+func WalkDef(d Def, fn func(Expr) bool) {
+	switch d := d.(type) {
+	case *DefineFunc:
+		for _, r := range d.Contract.Requires {
+			Walk(r, fn)
+		}
+		for _, en := range d.Contract.Ensures {
+			Walk(en, fn)
+		}
+		for _, b := range d.Body {
+			Walk(b, fn)
+		}
+	case *DefineVar:
+		Walk(d.Init, fn)
+	}
+}
+
+func walkBody(body []Expr, fn func(Expr) bool) {
+	for _, e := range body {
+		Walk(e, fn)
+	}
+}
+
+func walkChildren(e Expr, fn func(Expr) bool) {
+	switch e := e.(type) {
+	case *Call:
+		Walk(e.Fn, fn)
+		walkBody(e.Args, fn)
+	case *If:
+		Walk(e.Cond, fn)
+		Walk(e.Then, fn)
+		if e.Else != nil {
+			Walk(e.Else, fn)
+		}
+	case *Let:
+		for _, b := range e.Bindings {
+			Walk(b.Init, fn)
+		}
+		walkBody(e.Body, fn)
+	case *Lambda:
+		walkBody(e.Body, fn)
+	case *Begin:
+		walkBody(e.Body, fn)
+	case *Set:
+		Walk(e.Value, fn)
+	case *While:
+		Walk(e.Cond, fn)
+		walkBody(e.Invariants, fn)
+		walkBody(e.Body, fn)
+	case *DoTimes:
+		Walk(e.Count, fn)
+		walkBody(e.Body, fn)
+	case *MakeStruct:
+		for _, f := range e.Fields {
+			Walk(f.Value, fn)
+		}
+	case *FieldRef:
+		Walk(e.Expr, fn)
+	case *FieldSet:
+		Walk(e.Expr, fn)
+		Walk(e.Value, fn)
+	case *MakeUnion:
+		walkBody(e.Args, fn)
+	case *Case:
+		Walk(e.Scrut, fn)
+		for _, c := range e.Clauses {
+			walkBody(c.Body, fn)
+		}
+	case *Assert:
+		Walk(e.Cond, fn)
+	case *Cast:
+		Walk(e.Expr, fn)
+	case *WithRegion:
+		walkBody(e.Body, fn)
+	case *AllocIn:
+		Walk(e.Expr, fn)
+	case *Atomic:
+		walkBody(e.Body, fn)
+	case *Spawn:
+		Walk(e.Expr, fn)
+	case *WithLock:
+		walkBody(e.Body, fn)
+	}
+}

@@ -1,0 +1,383 @@
+package compiler_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bitc/internal/compiler"
+	"bitc/internal/ir"
+	"bitc/internal/parser"
+	"bitc/internal/types"
+	"bitc/internal/vm"
+)
+
+func compileOK(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	prog, diags := parser.Parse("t.bitc", src)
+	if diags.HasErrors() {
+		t.Fatalf("parse: %v", diags)
+	}
+	info, cdiags := types.Check(prog)
+	if cdiags.HasErrors() {
+		t.Fatalf("check: %v", cdiags)
+	}
+	mod, mdiags := compiler.Compile(prog, info, compiler.Options{})
+	if mdiags.HasErrors() {
+		t.Fatalf("compile: %v", mdiags)
+	}
+	return mod
+}
+
+func TestModuleShape(t *testing.T) {
+	mod := compileOK(t, `
+	  (defstruct p (x int32))
+	  (defunion u (A) (B (v int32)))
+	  (define g int64 5)
+	  (external ext (-> (int64) int64) "sym")
+	  (define (main) int64 g)`)
+	if mod.Entry < 0 || mod.Funcs[mod.Entry].Name != "main" {
+		t.Errorf("entry = %d", mod.Entry)
+	}
+	if len(mod.Globals) != 1 || mod.Globals[0].Name != "g" {
+		t.Errorf("globals = %+v", mod.Globals)
+	}
+	if len(mod.Externs) != 1 || mod.Externs[0].CSymbol != "sym" {
+		t.Errorf("externs = %+v", mod.Externs)
+	}
+	if mod.FuncByName("g$init") == nil {
+		t.Error("global initialiser function missing")
+	}
+	if mod.FuncByName("nope") != nil {
+		t.Error("phantom function")
+	}
+	if mod.Structs["p"] == nil || mod.Unions["u"] == nil {
+		t.Error("type tables not propagated")
+	}
+}
+
+func TestNoEntryWithoutMain(t *testing.T) {
+	mod := compileOK(t, `(define (helper) int64 1)`)
+	if mod.Entry != -1 {
+		t.Errorf("entry = %d, want -1", mod.Entry)
+	}
+}
+
+func opCount(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestDirectCallsUseOpCall(t *testing.T) {
+	mod := compileOK(t, `
+	  (define (g (x int64)) int64 x)
+	  (define (f) int64 (g 1))`)
+	f := mod.FuncByName("f")
+	if opCount(f, ir.OpCall) != 1 || opCount(f, ir.OpCallClosure) != 0 {
+		t.Errorf("call lowering wrong:\n%s", f.String())
+	}
+}
+
+func TestFirstClassFunctionBecomesClosure(t *testing.T) {
+	mod := compileOK(t, `
+	  (define (g (x int64)) int64 x)
+	  (define (f (h (-> (int64) int64))) int64 (h 1))
+	  (define (use) int64 (f g))`)
+	use := mod.FuncByName("use")
+	if opCount(use, ir.OpMakeClosure) != 1 {
+		t.Errorf("function reference not closed over:\n%s", use.String())
+	}
+	f := mod.FuncByName("f")
+	if opCount(f, ir.OpCallClosure) != 1 {
+		t.Errorf("parameter call not indirect:\n%s", f.String())
+	}
+}
+
+func TestLambdaLifted(t *testing.T) {
+	mod := compileOK(t, `(define (f) int64 ((lambda ((x int64)) int64 x) 7))`)
+	found := false
+	for _, fn := range mod.Funcs {
+		if strings.HasPrefix(fn.Name, "lambda$") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("lambda not lifted to a module function")
+	}
+}
+
+func TestCaptureRegsRecorded(t *testing.T) {
+	mod := compileOK(t, `
+	  (define (adder (n int64)) (-> (int64) int64)
+	    (lambda ((x int64)) int64 (+ x n)))`)
+	var lifted *ir.Func
+	for _, fn := range mod.Funcs {
+		if strings.HasPrefix(fn.Name, "lambda$") {
+			lifted = fn
+		}
+	}
+	if lifted == nil || len(lifted.CaptureRegs) != 1 {
+		t.Fatalf("capture regs: %+v", lifted)
+	}
+}
+
+func TestShortCircuitProducesBranches(t *testing.T) {
+	mod := compileOK(t, `(define (f (a bool) (b bool)) bool (and a b))`)
+	f := mod.FuncByName("f")
+	if len(f.Blocks) < 3 {
+		t.Errorf("and did not branch:\n%s", f.String())
+	}
+}
+
+func TestCaseLowersToTagSwitch(t *testing.T) {
+	mod := compileOK(t, `
+	  (defunion u (A) (B (v int64)))
+	  (define (f (x u)) int64 (case x ((A) 0) ((B v) v)))`)
+	f := mod.FuncByName("f")
+	if opCount(f, ir.OpUnionTag) != 1 {
+		t.Errorf("no tag extraction:\n%s", f.String())
+	}
+	if opCount(f, ir.OpUnionField) != 1 {
+		t.Errorf("no payload extraction:\n%s", f.String())
+	}
+}
+
+func TestAllocInAttachesRegion(t *testing.T) {
+	mod := compileOK(t, `
+	  (defstruct m (v int64))
+	  (define (f) int64
+	    (with-region r
+	      (field (alloc-in r (make m :v 1)) v)))`)
+	f := mod.FuncByName("f")
+	attached := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpNewStruct && in.Region != ir.NoReg {
+				attached = true
+			}
+		}
+	}
+	if !attached {
+		t.Errorf("region not attached to allocation:\n%s", f.String())
+	}
+	if opCount(f, ir.OpRegionEnter) != 1 || opCount(f, ir.OpRegionExit) != 1 {
+		t.Error("region enter/exit missing")
+	}
+}
+
+func TestPlainAllocationHasNoRegion(t *testing.T) {
+	mod := compileOK(t, `
+	  (defstruct m (v int64))
+	  (define (f) m (make m :v 1))`)
+	f := mod.FuncByName("f")
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpNewStruct && in.Region != ir.NoReg {
+				t.Errorf("spurious region on plain allocation:\n%s", f.String())
+			}
+		}
+	}
+}
+
+func TestContractsEmittedOnlyWhenAsked(t *testing.T) {
+	src := `(define (f (x int64)) int64 :requires (> x 0) x)`
+	prog, _ := parser.Parse("t", src)
+	info, _ := types.Check(prog)
+	plain, _ := compiler.Compile(prog, info, compiler.Options{})
+	checked, _ := compiler.Compile(prog, info, compiler.Options{EmitContracts: true})
+	if opCount(plain.FuncByName("f"), ir.OpAssert) != 0 {
+		t.Error("contracts emitted without the flag")
+	}
+	if opCount(checked.FuncByName("f"), ir.OpAssert) != 1 {
+		t.Error("contracts not emitted with the flag")
+	}
+}
+
+func TestIRPrintContainsEverything(t *testing.T) {
+	mod := compileOK(t, `
+	  (define (f (x int64)) int64
+	    (let ((mutable acc 0))
+	      (dotimes (i x) (set! acc (+ acc i)))
+	      acc))`)
+	text := mod.String()
+	for _, want := range []string{"func f", "b0:", "jmp", "br", "ret", "add"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("IR dump missing %q", want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Differential testing: random arithmetic programs, VM vs a Go reference.
+// ---------------------------------------------------------------------------
+
+// refExpr is a tiny expression tree we can render as bitc and evaluate in Go.
+type refExpr struct {
+	op   string // "lit", "var", "+", "-", "*", "if<"
+	lit  int64
+	a, b *refExpr
+	c    *refExpr // if<: condition compares a<b, picks b or c… see eval
+}
+
+func genExpr(r *rand.Rand, depth int) *refExpr {
+	if depth == 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return &refExpr{op: "lit", lit: int64(r.Intn(201) - 100)}
+		}
+		return &refExpr{op: "var"}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return &refExpr{op: "+", a: genExpr(r, depth-1), b: genExpr(r, depth-1)}
+	case 1:
+		return &refExpr{op: "-", a: genExpr(r, depth-1), b: genExpr(r, depth-1)}
+	case 2:
+		return &refExpr{op: "*", a: genExpr(r, depth-1), b: genExpr(r, depth-1)}
+	default:
+		return &refExpr{op: "if<", a: genExpr(r, depth-1), b: genExpr(r, depth-1), c: genExpr(r, depth-1)}
+	}
+}
+
+func (e *refExpr) render() string {
+	switch e.op {
+	case "lit":
+		return fmt.Sprint(e.lit)
+	case "var":
+		return "x"
+	case "if<":
+		return fmt.Sprintf("(if (< %s %s) %s %s)", e.a.render(), e.b.render(), e.b.render(), e.c.render())
+	default:
+		return fmt.Sprintf("(%s %s %s)", e.op, e.a.render(), e.b.render())
+	}
+}
+
+func (e *refExpr) eval(x int64) int64 {
+	switch e.op {
+	case "lit":
+		return e.lit
+	case "var":
+		return x
+	case "+":
+		return e.a.eval(x) + e.b.eval(x)
+	case "-":
+		return e.a.eval(x) - e.b.eval(x)
+	case "*":
+		return e.a.eval(x) * e.b.eval(x)
+	case "if<":
+		if e.a.eval(x) < e.b.eval(x) {
+			return e.b.eval(x)
+		}
+		return e.c.eval(x)
+	default:
+		panic("bad op")
+	}
+}
+
+// TestDifferentialArithmetic compiles 60 random expression functions and
+// checks the VM agrees with direct Go evaluation on several inputs, in both
+// representations.
+func TestDifferentialArithmetic(t *testing.T) {
+	r := rand.New(rand.NewSource(20060101))
+	for iter := 0; iter < 60; iter++ {
+		e := genExpr(r, 4)
+		src := fmt.Sprintf("(define (f (x int64)) int64 %s)", e.render())
+		mod := compileOK(t, src)
+		for _, mode := range []vm.RepMode{vm.Unboxed, vm.Boxed} {
+			for _, x := range []int64{-7, 0, 1, 13} {
+				machine := vm.New(mod, vm.Options{Mode: mode})
+				got, err := machine.RunFunc("f", vm.IntValue(x))
+				if err != nil {
+					t.Fatalf("program %q: %v", src, err)
+				}
+				want := e.eval(x)
+				if got.I != want {
+					t.Fatalf("program %q at x=%d (%v): got %d want %d", src, x, mode, got.I, want)
+				}
+			}
+		}
+	}
+}
+
+// refStmt extends the differential generator with statement-level constructs:
+// a function body of mutable-variable assignments and bounded loops, with a
+// Go reference evaluation.
+type refStmt struct {
+	kind string // "set", "loop"
+	e    *refExpr
+	n    int // loop trip count
+	body []*refStmt
+}
+
+func genStmts(r *rand.Rand, depth, count int) []*refStmt {
+	var out []*refStmt
+	for i := 0; i < count; i++ {
+		if depth > 0 && r.Intn(4) == 0 {
+			out = append(out, &refStmt{
+				kind: "loop", n: r.Intn(4) + 1,
+				body: genStmts(r, depth-1, r.Intn(2)+1),
+			})
+		} else {
+			out = append(out, &refStmt{kind: "set", e: genExpr(r, 3)})
+		}
+	}
+	return out
+}
+
+func renderStmts(stmts []*refStmt, b *strings.Builder) {
+	for _, s := range stmts {
+		switch s.kind {
+		case "set":
+			// x := x + expr(x)
+			fmt.Fprintf(b, "(set! x (+ x %s))", s.e.render())
+		case "loop":
+			fmt.Fprintf(b, "(dotimes (i%p %d)", s, s.n)
+			renderStmts(s.body, b)
+			b.WriteString(")")
+		}
+	}
+}
+
+func evalStmts(stmts []*refStmt, x int64) int64 {
+	for _, s := range stmts {
+		switch s.kind {
+		case "set":
+			x = x + s.e.eval(x)
+		case "loop":
+			for i := 0; i < s.n; i++ {
+				x = evalStmts(s.body, x)
+			}
+		}
+	}
+	return x
+}
+
+func TestDifferentialStatements(t *testing.T) {
+	r := rand.New(rand.NewSource(20061022)) // the paper's publication date
+	for iter := 0; iter < 40; iter++ {
+		stmts := genStmts(r, 2, 3)
+		var b strings.Builder
+		b.WriteString("(define (f (x0 int64)) int64 (let ((mutable x x0)) ")
+		renderStmts(stmts, &b)
+		b.WriteString(" x))")
+		src := b.String()
+		mod := compileOK(t, src)
+		for _, x := range []int64{-3, 0, 2} {
+			machine := vm.New(mod, vm.Options{})
+			got, err := machine.RunFunc("f", vm.IntValue(x))
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			if want := evalStmts(stmts, x); got.I != want {
+				t.Fatalf("%s at x=%d: got %d want %d", src, x, got.I, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package concurrent implements the static side of bitc's shared-state story
+// (the paper's challenge 4): a lockset analysis in the Eraser tradition that
+// finds fields of shared (global) objects accessed from multiple threads
+// without a consistent lock — plus a report of where locks *are* held, which
+// the E8 experiment uses to contrast locks, STM, and unsynchronised code.
+package concurrent
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bitc/internal/ast"
+	"bitc/internal/source"
+	"bitc/internal/types"
+)
+
+// Access is one read or write of a shared location.
+type Access struct {
+	Global  string // global variable holding the object
+	Field   string
+	Write   bool
+	Span    source.Span
+	Func    string
+	Lockset []string // sorted lock names (and "atomic") held at the access
+	Spawned bool     // reachable from a spawn site (i.e. a non-main thread)
+}
+
+// Race is a pair of conflicting accesses with disjoint locksets.
+type Race struct {
+	Location string // global.field
+	A, B     Access
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("potential race on %s: %s in %s holds {%s}; %s in %s holds {%s}",
+		r.Location,
+		rw(r.A.Write), r.A.Func, strings.Join(r.A.Lockset, ","),
+		rw(r.B.Write), r.B.Func, strings.Join(r.B.Lockset, ","))
+}
+
+func rw(w bool) string {
+	if w {
+		return "write"
+	}
+	return "read"
+}
+
+// Report is the analysis result.
+type Report struct {
+	Accesses []Access
+	Races    []Race
+}
+
+// Analyze runs the lockset analysis over a checked program.
+func Analyze(prog *ast.Program, info *types.Info) *Report {
+	a := &analyzer{
+		info:  info,
+		funcs: map[string]*ast.DefineFunc{},
+		memo:  map[string]bool{},
+	}
+	for _, d := range prog.Defs {
+		if fn, ok := d.(*ast.DefineFunc); ok {
+			a.funcs[fn.Name] = fn
+		}
+	}
+	// Globals that hold mutable heap objects are the shared state.
+	for name, t := range info.Globals {
+		if types.Prune(t).Kind == types.KStruct {
+			a.sharedGlobals = append(a.sharedGlobals, name)
+		}
+	}
+	sort.Strings(a.sharedGlobals)
+
+	// Entry points are functions nothing else calls (plus main): accesses are
+	// only meaningful along real execution paths, otherwise a callee that is
+	// always invoked under a lock would be flagged spuriously.
+	called := map[string]bool{}
+	for _, d := range prog.Defs {
+		if fn, ok := d.(*ast.DefineFunc); ok {
+			for _, body := range fn.Body {
+				ast.Walk(body, func(e ast.Expr) bool {
+					if call, ok := e.(*ast.Call); ok {
+						if v, ok := call.Fn.(*ast.VarRef); ok && a.funcs[v.Name] != nil && v.Name != fn.Name {
+							called[v.Name] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	for _, d := range prog.Defs {
+		if fn, ok := d.(*ast.DefineFunc); ok {
+			if !called[fn.Name] || fn.Name == "main" {
+				a.walkFunc(fn, nil, false, 0)
+			}
+		}
+	}
+	rep := &Report{Accesses: a.accesses}
+	rep.Races = findRaces(a.accesses)
+	return rep
+}
+
+type analyzer struct {
+	info          *types.Info
+	funcs         map[string]*ast.DefineFunc
+	sharedGlobals []string
+	accesses      []Access
+	memo          map[string]bool
+}
+
+func lockKey(locks []string) string { return strings.Join(locks, "\x00") }
+
+// walkFunc analyses fn's body under the given held lockset. Memoised per
+// (function, lockset, spawned) context; depth-bounded for recursion.
+func (a *analyzer) walkFunc(fn *ast.DefineFunc, locks []string, spawned bool, depth int) {
+	if depth > 8 {
+		return
+	}
+	key := fmt.Sprintf("%s|%s|%v", fn.Name, lockKey(locks), spawned)
+	if a.memo[key] {
+		return
+	}
+	a.memo[key] = true
+	for _, e := range fn.Body {
+		a.walk(e, fn, locks, spawned, depth)
+	}
+}
+
+// globalTarget resolves the object expression of a field access to a shared
+// global name, or "".
+func (a *analyzer) globalTarget(e ast.Expr) string {
+	v, ok := e.(*ast.VarRef)
+	if !ok {
+		return ""
+	}
+	if sym := a.info.Uses[v]; sym != nil && sym.Kind == types.SymGlobal {
+		return v.Name
+	}
+	return ""
+}
+
+func (a *analyzer) record(global, field string, write bool, span source.Span, fn string, locks []string, spawned bool) {
+	ls := append([]string{}, locks...)
+	sort.Strings(ls)
+	a.accesses = append(a.accesses, Access{
+		Global: global, Field: field, Write: write, Span: span,
+		Func: fn, Lockset: ls, Spawned: spawned,
+	})
+}
+
+func (a *analyzer) walk(e ast.Expr, fn *ast.DefineFunc, locks []string, spawned bool, depth int) {
+	switch e := e.(type) {
+	case *ast.WithLock:
+		inner := append(append([]string{}, locks...), e.Lock)
+		for _, b := range e.Body {
+			a.walk(b, fn, inner, spawned, depth)
+		}
+	case *ast.Atomic:
+		// STM serialises with every other atomic block: model as a single
+		// global lock named "atomic".
+		inner := append(append([]string{}, locks...), "atomic")
+		for _, b := range e.Body {
+			a.walk(b, fn, inner, spawned, depth)
+		}
+	case *ast.Spawn:
+		a.walkSpawn(e.Expr, fn, depth)
+	case *ast.FieldRef:
+		if g := a.globalTarget(e.Expr); g != "" {
+			a.record(g, e.Name, false, e.Span(), fn.Name, locks, spawned)
+		}
+		a.walk(e.Expr, fn, locks, spawned, depth)
+	case *ast.FieldSet:
+		if g := a.globalTarget(e.Expr); g != "" {
+			a.record(g, e.Name, true, e.Span(), fn.Name, locks, spawned)
+		}
+		a.walk(e.Expr, fn, locks, spawned, depth)
+		a.walk(e.Value, fn, locks, spawned, depth)
+	case *ast.Call:
+		if v, ok := e.Fn.(*ast.VarRef); ok {
+			if callee, isFn := a.funcs[v.Name]; isFn {
+				a.walkFunc(callee, locks, spawned, depth+1)
+			}
+		}
+		for _, arg := range e.Args {
+			a.walk(arg, fn, locks, spawned, depth)
+		}
+	default:
+		ast.Walk(e, func(sub ast.Expr) bool {
+			if sub == e {
+				return true
+			}
+			a.walk(sub, fn, locks, spawned, depth)
+			return false
+		})
+	}
+}
+
+// walkSpawn analyses a spawned expression as child-thread code.
+func (a *analyzer) walkSpawn(e ast.Expr, fn *ast.DefineFunc, depth int) {
+	if call, ok := e.(*ast.Call); ok {
+		if v, ok := call.Fn.(*ast.VarRef); ok {
+			if callee, isFn := a.funcs[v.Name]; isFn {
+				a.walkFunc(callee, nil, true, depth+1)
+			}
+		}
+	}
+	// Direct accesses in the spawned expression itself.
+	synthetic := &ast.DefineFunc{Name: fn.Name + "$spawn"}
+	a.walk(e, synthetic, nil, true, depth)
+}
+
+// findRaces pairs conflicting accesses: same location, at least one write,
+// at least one from a spawned thread (or both from different spawned code),
+// and disjoint locksets.
+func findRaces(accesses []Access) []Race {
+	byLoc := map[string][]Access{}
+	for _, ac := range accesses {
+		byLoc[ac.Global+"."+ac.Field] = append(byLoc[ac.Global+"."+ac.Field], ac)
+	}
+	var races []Race
+	seen := map[string]bool{}
+	var locs []string
+	for loc := range byLoc {
+		locs = append(locs, loc)
+	}
+	sort.Strings(locs)
+	for _, loc := range locs {
+		acs := byLoc[loc]
+		for i := 0; i < len(acs); i++ {
+			for j := i; j < len(acs); j++ {
+				x, y := acs[i], acs[j]
+				if !x.Write && !y.Write {
+					continue
+				}
+				// Concurrency requires at least one access on a spawned
+				// thread, and if both are the same access it must be
+				// self-parallel (spawned code can run in two instances).
+				if !x.Spawned && !y.Spawned {
+					continue
+				}
+				if disjoint(x.Lockset, y.Lockset) {
+					key := fmt.Sprintf("%s|%s|%s", loc, x.Func, y.Func)
+					if !seen[key] {
+						seen[key] = true
+						races = append(races, Race{Location: loc, A: x, B: y})
+					}
+				}
+			}
+		}
+	}
+	return races
+}
+
+func disjoint(a, b []string) bool {
+	set := map[string]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, y := range b {
+		if set[y] {
+			return false
+		}
+	}
+	return true
+}

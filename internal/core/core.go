@@ -1,0 +1,140 @@
+// Package core is bitc's public API: one call to load (parse, type-check,
+// compile, optimise) a program, and methods to run it on the VM, verify its
+// contracts, check region escapes, analyse races, and inspect layouts and IR.
+//
+// This is the surface a downstream user of the reproduction works against;
+// the cmd/ tools and examples/ are all thin wrappers over it.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"bitc/internal/ast"
+	"bitc/internal/compiler"
+	"bitc/internal/concurrent"
+	"bitc/internal/ir"
+	"bitc/internal/layout"
+	"bitc/internal/opt"
+	"bitc/internal/parser"
+	"bitc/internal/regions"
+	"bitc/internal/types"
+	"bitc/internal/verify"
+	"bitc/internal/vm"
+)
+
+// Config controls compilation and execution.
+type Config struct {
+	// Optimize selects the optimisation level (default O2).
+	Optimize opt.Level
+	// EmitContracts compiles :requires/:ensures into runtime checks.
+	EmitContracts bool
+
+	// Mode selects the VM value representation (default Unboxed).
+	Mode vm.RepMode
+	// RespectNoBox honours unboxing annotations in Boxed mode.
+	RespectNoBox bool
+	// Seed drives the deterministic scheduler.
+	Seed uint64
+	// Quantum is the preemption interval in instructions (default 64).
+	Quantum int
+	// MaxSteps bounds execution (0 = unlimited).
+	MaxSteps uint64
+	// Stdout receives print/println output (default: discarded).
+	Stdout io.Writer
+}
+
+// DefaultConfig compiles at O2 with unboxed representation.
+var DefaultConfig = Config{Optimize: opt.O2}
+
+// Program is a loaded bitc program.
+type Program struct {
+	Name   string
+	AST    *ast.Program
+	Info   *types.Info
+	Module *ir.Module
+	Opt    *opt.Result
+
+	cfg Config
+}
+
+// Load parses, type-checks, compiles, and optimises source text.
+func Load(name, src string, cfg Config) (*Program, error) {
+	prog, diags := parser.Parse(name, src)
+	if err := diags.ErrOrNil(); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, cdiags := types.Check(prog)
+	if err := cdiags.ErrOrNil(); err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	mod, mdiags := compiler.Compile(prog, info, compiler.Options{EmitContracts: cfg.EmitContracts})
+	if err := mdiags.ErrOrNil(); err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	res := opt.Optimize(mod, cfg.Optimize)
+	return &Program{Name: name, AST: prog, Info: info, Module: mod, Opt: res, cfg: cfg}, nil
+}
+
+// MustLoad is Load, panicking on error (for examples and tests).
+func MustLoad(name, src string, cfg Config) *Program {
+	p, err := Load(name, src, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewVM creates a fresh VM for the program with the program's config.
+func (p *Program) NewVM() *vm.VM {
+	return vm.New(p.Module, vm.Options{
+		Mode:         p.cfg.Mode,
+		RespectNoBox: p.cfg.RespectNoBox,
+		Seed:         p.cfg.Seed,
+		Quantum:      p.cfg.Quantum,
+		MaxSteps:     p.cfg.MaxSteps,
+		Stdout:       p.cfg.Stdout,
+	})
+}
+
+// Run executes main on a fresh VM, returning its value and the VM (for
+// stats inspection).
+func (p *Program) Run() (vm.Value, *vm.VM, error) {
+	machine := p.NewVM()
+	val, err := machine.Run()
+	return val, machine, err
+}
+
+// RunFunc executes a named function with arguments on a fresh VM.
+func (p *Program) RunFunc(name string, args ...vm.Value) (vm.Value, *vm.VM, error) {
+	machine := p.NewVM()
+	val, err := machine.RunFunc(name, args...)
+	return val, machine, err
+}
+
+// Verify generates and discharges every verification condition.
+func (p *Program) Verify(opts verify.Options) *verify.Report {
+	return verify.Program(p.AST, p.Info, opts)
+}
+
+// CheckRegions runs the static region-escape analysis.
+func (p *Program) CheckRegions() []regions.Escape {
+	return regions.Check(p.AST, p.Info)
+}
+
+// Races runs the lockset race analysis.
+func (p *Program) Races() *concurrent.Report {
+	return concurrent.Analyze(p.AST, p.Info)
+}
+
+// LayoutOf computes the layout of a named struct under a representation mode.
+func (p *Program) LayoutOf(structName string, mode layout.Mode) (*layout.StructLayout, error) {
+	si, ok := p.Info.Structs[structName]
+	if !ok {
+		return nil, fmt.Errorf("no struct %s", structName)
+	}
+	return layout.Of(si, mode)
+}
+
+// DumpIR renders the compiled module.
+func (p *Program) DumpIR() string { return p.Module.String() }

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+
+	"bitc/internal/core"
+	"bitc/internal/verify"
+	"bitc/internal/vm"
+)
+
+// ExampleLoad shows the one-call pipeline: parse, type-check, compile,
+// optimise, then run on the VM.
+func ExampleLoad() {
+	prog, err := core.Load("demo.bitc", `
+	  (define (main) int64 (* 6 7))`, core.DefaultConfig)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	val, _, err := prog.Run()
+	if err != nil {
+		fmt.Println("trap:", err)
+		return
+	}
+	fmt.Println(val.String())
+	// Output: 42
+}
+
+// ExampleProgram_RunFunc calls an arbitrary function with host-made values.
+func ExampleProgram_RunFunc() {
+	prog := core.MustLoad("demo.bitc", `
+	  (define (clamp (x int64) (lo int64) (hi int64)) int64
+	    (min (max x lo) hi))`, core.DefaultConfig)
+	val, _, _ := prog.RunFunc("clamp", vm.IntValue(99), vm.IntValue(0), vm.IntValue(10))
+	fmt.Println(val.String())
+	// Output: 10
+}
+
+// ExampleProgram_Verify discharges a contract with the built-in prover.
+func ExampleProgram_Verify() {
+	prog := core.MustLoad("demo.bitc", `
+	  (define (inc (x int64)) int64
+	    :requires (< x 100)
+	    :ensures (> %result x)
+	    (+ x 1))`, core.DefaultConfig)
+	rep := prog.Verify(verify.DefaultOptions)
+	fmt.Println(rep.Summary())
+	// Output: 1 VCs: 1 proved, 0 failed, 0 outside fragment
+}
+
+// ExampleProgram_Run_print shows program output flowing to the configured
+// writer.
+func ExampleProgram_Run_print() {
+	cfg := core.DefaultConfig
+	cfg.Stdout = os.Stdout
+	prog := core.MustLoad("demo.bitc", `
+	  (define (main) unit
+	    (println "hello from bitc"))`, cfg)
+	prog.Run()
+	// Output: hello from bitc
+}

@@ -1,0 +1,237 @@
+// Package ffi simulates the C foreign-function boundary the paper's fallacy 4
+// ("the legacy problem is insurmountable") is about. It provides:
+//
+//   - a C-ABI struct codec: bitc structs marshal to/from natural-layout C
+//     bytes, with the copy cost accounted;
+//   - a registry of "legacy" C functions operating on raw byte buffers
+//     (checksum, memcmp, qsort, strlen) standing in for the decades of C the
+//     paper says a new systems language must coexist with;
+//   - a bridge that registers scalar entry points into the VM's extern table.
+//
+// The experiment's question is quantitative: what does crossing this boundary
+// cost, and does it amortise? (The paper's position: yes — the fallacy is
+// believing it cannot.)
+package ffi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"bitc/internal/layout"
+	"bitc/internal/types"
+	"bitc/internal/vm"
+)
+
+// Codec marshals instances of one struct type across the C ABI.
+type Codec struct {
+	Layout *layout.StructLayout
+
+	// BytesMarshalled counts total traffic through this codec.
+	BytesMarshalled uint64
+}
+
+// NewCodec builds a codec for si using natural C layout.
+func NewCodec(si *types.StructInfo) (*Codec, error) {
+	l, err := layout.Of(si, layout.Natural)
+	if err != nil {
+		return nil, err
+	}
+	if !l.Encodable() {
+		return nil, fmt.Errorf("ffi: struct %s has non-scalar fields and cannot cross the C ABI by value", si.Name)
+	}
+	return &Codec{Layout: l}, nil
+}
+
+// Marshal produces the C-side bytes for the given field values.
+func (c *Codec) Marshal(fields map[string]uint64) ([]byte, error) {
+	buf, err := c.Layout.Encode(fields, layout.LittleEndian)
+	if err != nil {
+		return nil, err
+	}
+	c.BytesMarshalled += uint64(len(buf))
+	return buf, nil
+}
+
+// Unmarshal reads C-side bytes back into field values.
+func (c *Codec) Unmarshal(buf []byte) (map[string]uint64, error) {
+	out, err := c.Layout.Decode(buf, layout.LittleEndian)
+	if err != nil {
+		return nil, err
+	}
+	c.BytesMarshalled += uint64(len(buf))
+	return out, nil
+}
+
+// Library is a set of simulated legacy C functions. Each operates on raw
+// bytes the way real C code would — no knowledge of bitc's object model.
+type Library struct {
+	Calls uint64
+}
+
+// Checksum is the classic ones-complement style checksum over a buffer.
+func (l *Library) Checksum(buf []byte) uint32 {
+	l.Calls++
+	var sum uint32
+	for i := 0; i+1 < len(buf); i += 2 {
+		sum += uint32(binary.LittleEndian.Uint16(buf[i:]))
+	}
+	if len(buf)%2 == 1 {
+		sum += uint32(buf[len(buf)-1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^sum & 0xFFFF
+}
+
+// Memcmp compares two buffers like C memcmp.
+func (l *Library) Memcmp(a, b []byte) int {
+	l.Calls++
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// QsortI32 sorts a buffer of little-endian int32s in place (the legacy qsort
+// shape: opaque buffer + element count).
+func (l *Library) QsortI32(buf []byte) error {
+	l.Calls++
+	if len(buf)%4 != 0 {
+		return fmt.Errorf("ffi: qsort_i32 buffer length %d not a multiple of 4", len(buf))
+	}
+	n := len(buf) / 4
+	vals := make([]int32, n)
+	for i := 0; i < n; i++ {
+		vals[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+	}
+	return nil
+}
+
+// Strlen finds the NUL terminator like C strlen; -1 when unterminated.
+func (l *Library) Strlen(buf []byte) int {
+	l.Calls++
+	for i, b := range buf {
+		if b == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Bridge connects a Library's scalar entry points to a VM's extern table.
+// Buffer-typed legacy functions get scalar wrappers over a shared arena the
+// bitc side addresses by (offset, length) — exactly how real systems pass
+// buffers over an ABI that only moves words.
+type Bridge struct {
+	Lib   *Library
+	Arena []byte
+}
+
+// NewBridge allocates a bridge with an arena of the given size.
+func NewBridge(arenaSize int) *Bridge {
+	return &Bridge{Lib: &Library{}, Arena: make([]byte, arenaSize)}
+}
+
+func (b *Bridge) slice(off, n int64) ([]byte, bool) {
+	if off < 0 || n < 0 || off+n > int64(len(b.Arena)) {
+		return nil, false
+	}
+	return b.Arena[off : off+n], true
+}
+
+// Register installs the legacy entry points into machine.
+func (b *Bridge) Register(machine *vm.VM) {
+	machine.Externs["c_checksum"] = func(args []int64) int64 {
+		if len(args) != 2 {
+			return -1
+		}
+		buf, ok := b.slice(args[0], args[1])
+		if !ok {
+			return -1
+		}
+		return int64(b.Lib.Checksum(buf))
+	}
+	machine.Externs["c_memcmp"] = func(args []int64) int64 {
+		if len(args) != 3 {
+			return -2
+		}
+		x, ok1 := b.slice(args[0], args[2])
+		y, ok2 := b.slice(args[1], args[2])
+		if !ok1 || !ok2 {
+			return -2
+		}
+		return int64(b.Lib.Memcmp(x, y))
+	}
+	machine.Externs["c_qsort_i32"] = func(args []int64) int64 {
+		if len(args) != 2 {
+			return -1
+		}
+		buf, ok := b.slice(args[0], args[1]*4)
+		if !ok {
+			return -1
+		}
+		if err := b.Lib.QsortI32(buf); err != nil {
+			return -1
+		}
+		return 0
+	}
+	machine.Externs["c_strlen"] = func(args []int64) int64 {
+		if len(args) != 2 {
+			return -1
+		}
+		buf, ok := b.slice(args[0], args[1])
+		if !ok {
+			return -1
+		}
+		return int64(b.Lib.Strlen(buf))
+	}
+	machine.Externs["c_poke8"] = func(args []int64) int64 {
+		if len(args) != 2 {
+			return -1
+		}
+		if args[0] < 0 || args[0] >= int64(len(b.Arena)) {
+			return -1
+		}
+		b.Arena[args[0]] = byte(args[1])
+		return 0
+	}
+	machine.Externs["c_peek8"] = func(args []int64) int64 {
+		if len(args) != 1 || args[0] < 0 || args[0] >= int64(len(b.Arena)) {
+			return -1
+		}
+		return int64(b.Arena[args[0]])
+	}
+}
+
+// Declarations returns the bitc external declarations matching Register, for
+// embedding at the top of programs that use the bridge.
+func Declarations() string {
+	return `(external c-checksum (-> (int64 int64) int64) "c_checksum")
+(external c-memcmp (-> (int64 int64 int64) int64) "c_memcmp")
+(external c-qsort-i32 (-> (int64 int64) int64) "c_qsort_i32")
+(external c-strlen (-> (int64 int64) int64) "c_strlen")
+(external c-poke8 (-> (int64 int64) int64) "c_poke8")
+(external c-peek8 (-> (int64) int64) "c_peek8")
+`
+}

@@ -1,0 +1,179 @@
+package ffi_test
+
+import (
+	"strings"
+	"testing"
+
+	"bitc/internal/compiler"
+	"bitc/internal/ffi"
+	"bitc/internal/parser"
+	"bitc/internal/types"
+	"bitc/internal/vm"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	si := &types.StructInfo{Name: "pkt", Fields: []types.FieldInfo{
+		{Name: "id", Type: types.Uint32},
+		{Name: "flags", Type: types.Uint16},
+		{Name: "ttl", Type: types.Uint8},
+	}}
+	c, err := ffi.NewCodec(si)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]uint64{"id": 0xABCDEF01, "flags": 0x0102, "ttl": 64}
+	buf, err := c.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range in {
+		if out[k] != v {
+			t.Errorf("%s = %#x, want %#x", k, out[k], v)
+		}
+	}
+	if c.BytesMarshalled != 2*uint64(len(buf)) {
+		t.Errorf("traffic = %d", c.BytesMarshalled)
+	}
+}
+
+func TestCodecRejectsNonScalar(t *testing.T) {
+	si := &types.StructInfo{Name: "bad", Fields: []types.FieldInfo{
+		{Name: "v", Type: types.Vector(types.Int32)},
+	}}
+	if _, err := ffi.NewCodec(si); err == nil {
+		t.Fatal("vector field accepted across the ABI")
+	}
+}
+
+func TestLibraryChecksum(t *testing.T) {
+	lib := &ffi.Library{}
+	a := lib.Checksum([]byte{1, 2, 3, 4})
+	b := lib.Checksum([]byte{1, 2, 3, 4})
+	if a != b {
+		t.Fatal("checksum not deterministic")
+	}
+	if lib.Checksum([]byte{1, 2, 3, 5}) == a {
+		t.Fatal("checksum ignores content")
+	}
+	if lib.Calls != 3 {
+		t.Errorf("calls = %d", lib.Calls)
+	}
+	// Odd-length buffers are handled.
+	_ = lib.Checksum([]byte{9})
+}
+
+func TestLibraryMemcmp(t *testing.T) {
+	lib := &ffi.Library{}
+	if lib.Memcmp([]byte("abc"), []byte("abc")) != 0 {
+		t.Error("equal buffers")
+	}
+	if lib.Memcmp([]byte("abc"), []byte("abd")) >= 0 {
+		t.Error("less-than")
+	}
+	if lib.Memcmp([]byte("abd"), []byte("abc")) <= 0 {
+		t.Error("greater-than")
+	}
+	if lib.Memcmp([]byte("ab"), []byte("abc")) >= 0 {
+		t.Error("prefix shorter")
+	}
+}
+
+func TestLibraryQsort(t *testing.T) {
+	lib := &ffi.Library{}
+	buf := []byte{
+		3, 0, 0, 0,
+		1, 0, 0, 0,
+		2, 0, 0, 0,
+	}
+	if err := lib.QsortI32(buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[4] != 2 || buf[8] != 3 {
+		t.Fatalf("sorted = % x", buf)
+	}
+	if err := lib.QsortI32([]byte{1, 2, 3}); err == nil {
+		t.Error("bad length accepted")
+	}
+}
+
+func TestLibraryStrlen(t *testing.T) {
+	lib := &ffi.Library{}
+	if n := lib.Strlen([]byte("hello\x00world")); n != 5 {
+		t.Errorf("strlen = %d", n)
+	}
+	if n := lib.Strlen([]byte("nope")); n != -1 {
+		t.Errorf("unterminated = %d", n)
+	}
+}
+
+// TestBridgeEndToEnd runs a bitc program that fills the shared arena through
+// c-poke8, checksums it through the legacy library, and reads bytes back.
+func TestBridgeEndToEnd(t *testing.T) {
+	src := ffi.Declarations() + `
+	  (define (main) int64
+	    (begin
+	      (c-poke8 0 1) (c-poke8 1 2) (c-poke8 2 3) (c-poke8 3 4)
+	      (let ((ck (c-checksum 0 4)))
+	        (if (= (c-peek8 2) 3) ck -1))))`
+	prog, diags := parser.Parse("t.bitc", src)
+	if diags.HasErrors() {
+		t.Fatalf("parse: %v", diags)
+	}
+	info, cdiags := types.Check(prog)
+	if cdiags.HasErrors() {
+		t.Fatalf("check: %v", cdiags)
+	}
+	mod, mdiags := compiler.Compile(prog, info, compiler.Options{})
+	if mdiags.HasErrors() {
+		t.Fatalf("compile: %v", mdiags)
+	}
+	machine := vm.New(mod, vm.Options{})
+	bridge := ffi.NewBridge(1 << 12)
+	bridge.Register(machine)
+	val, err := machine.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := &ffi.Library{}
+	want := int64(lib.Checksum([]byte{1, 2, 3, 4}))
+	if val.I != want {
+		t.Fatalf("checksum across ABI = %d, want %d", val.I, want)
+	}
+	if machine.Stats.ExternCalls < 6 {
+		t.Errorf("extern calls = %d", machine.Stats.ExternCalls)
+	}
+	if bridge.Lib.Calls == 0 {
+		t.Error("library never called")
+	}
+}
+
+func TestBridgeBoundsChecked(t *testing.T) {
+	src := ffi.Declarations() + `
+	  (define (main) int64 (c-peek8 99999999))`
+	prog, _ := parser.Parse("t.bitc", src)
+	info, _ := types.Check(prog)
+	mod, _ := compiler.Compile(prog, info, compiler.Options{})
+	machine := vm.New(mod, vm.Options{})
+	ffi.NewBridge(16).Register(machine)
+	val, err := machine.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.I != -1 {
+		t.Fatalf("out-of-arena peek = %d, want -1", val.I)
+	}
+}
+
+func TestDeclarationsParse(t *testing.T) {
+	_, diags := parser.Parse("decls", ffi.Declarations())
+	if diags.HasErrors() {
+		t.Fatalf("declarations do not parse: %v", diags)
+	}
+	if !strings.Contains(ffi.Declarations(), "c_checksum") {
+		t.Error("missing checksum declaration")
+	}
+}

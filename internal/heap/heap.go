@@ -1,0 +1,167 @@
+// Package heap provides the simulated byte-addressed heap that the allocator
+// and collector implementations in internal/alloc manage.
+//
+// Objects live in one flat byte array. Every object has a fixed header:
+//
+//	offset 0: uint32 size of the whole object including header
+//	offset 4: uint16 number of pointer slots (they come first in the payload)
+//	offset 6: uint16 flags (mark bit, forwarding bit, …)
+//	offset 8: payload: ptrCount Addr slots (4 bytes each), then raw data
+//
+// Keeping pointer slots at known offsets is what makes precise tracing,
+// copying, and pointer fix-up possible — exactly the property the paper says
+// a systems language must expose to its runtime.
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is a heap address. 0 is the nil reference (no object lives at 0).
+type Addr uint32
+
+// Nil is the null heap address.
+const Nil Addr = 0
+
+// HeaderSize is the bytes every object pays before its payload.
+const HeaderSize = 8
+
+// PtrSize is the size of one pointer slot in payload bytes.
+const PtrSize = 4
+
+// Object flags.
+const (
+	FlagMark uint16 = 1 << iota
+	FlagForwarded
+	FlagFree
+)
+
+// Heap is a flat simulated memory. The first HeaderSize bytes are reserved so
+// no object ever has address 0.
+type Heap struct {
+	Mem []byte
+
+	// Counters of raw memory traffic, for the experiment tables.
+	Reads, Writes uint64
+}
+
+// New creates a heap of the given size in bytes.
+func New(size int) *Heap {
+	if size < 64 {
+		size = 64
+	}
+	return &Heap{Mem: make([]byte, size)}
+}
+
+// Size returns the heap capacity in bytes.
+func (h *Heap) Size() int { return len(h.Mem) }
+
+func (h *Heap) check(a Addr, n int) error {
+	if a == Nil {
+		return fmt.Errorf("heap: nil dereference")
+	}
+	if int(a)+n > len(h.Mem) {
+		return fmt.Errorf("heap: access at %d+%d beyond end %d", a, n, len(h.Mem))
+	}
+	return nil
+}
+
+// InitObject writes an object header at a.
+func (h *Heap) InitObject(a Addr, size int, ptrCount int, flags uint16) {
+	binary.LittleEndian.PutUint32(h.Mem[a:], uint32(size))
+	binary.LittleEndian.PutUint16(h.Mem[a+4:], uint16(ptrCount))
+	binary.LittleEndian.PutUint16(h.Mem[a+6:], flags)
+	h.Writes += 2
+	// Clear the payload: fresh objects start zeroed, like calloc.
+	for i := int(a) + HeaderSize; i < int(a)+size; i++ {
+		h.Mem[i] = 0
+	}
+}
+
+// ObjSize reads the total size of the object at a.
+func (h *Heap) ObjSize(a Addr) int {
+	h.Reads++
+	return int(binary.LittleEndian.Uint32(h.Mem[a:]))
+}
+
+// PtrCount reads the number of pointer slots of the object at a.
+func (h *Heap) PtrCount(a Addr) int {
+	h.Reads++
+	return int(binary.LittleEndian.Uint16(h.Mem[a+4:]))
+}
+
+// Flags reads the object flags.
+func (h *Heap) Flags(a Addr) uint16 {
+	h.Reads++
+	return binary.LittleEndian.Uint16(h.Mem[a+6:])
+}
+
+// SetFlags writes the object flags.
+func (h *Heap) SetFlags(a Addr, f uint16) {
+	h.Writes++
+	binary.LittleEndian.PutUint16(h.Mem[a+6:], f)
+}
+
+// PayloadSize returns the object's payload size in bytes.
+func (h *Heap) PayloadSize(a Addr) int { return h.ObjSize(a) - HeaderSize }
+
+// PtrSlot returns the address stored in pointer slot i of the object at a.
+func (h *Heap) PtrSlot(a Addr, i int) Addr {
+	h.Reads++
+	off := int(a) + HeaderSize + i*PtrSize
+	return Addr(binary.LittleEndian.Uint32(h.Mem[off:]))
+}
+
+// SetPtrSlot stores a pointer in slot i of the object at a.
+func (h *Heap) SetPtrSlot(a Addr, i int, v Addr) {
+	h.Writes++
+	off := int(a) + HeaderSize + i*PtrSize
+	binary.LittleEndian.PutUint32(h.Mem[off:], uint32(v))
+}
+
+// DataOff returns the byte offset (within Mem) of the raw-data portion of the
+// object at a, which follows the pointer slots.
+func (h *Heap) DataOff(a Addr) int {
+	return int(a) + HeaderSize + h.PtrCount(a)*PtrSize
+}
+
+// ReadData reads n raw bytes at byte offset off within the object's data area.
+func (h *Heap) ReadData(a Addr, off, n int) ([]byte, error) {
+	base := h.DataOff(a)
+	if err := h.check(a, base-int(a)+off+n); err != nil {
+		return nil, err
+	}
+	h.Reads++
+	return h.Mem[base+off : base+off+n], nil
+}
+
+// WriteData writes raw bytes at byte offset off within the object's data area.
+func (h *Heap) WriteData(a Addr, off int, data []byte) error {
+	base := h.DataOff(a)
+	if err := h.check(a, base-int(a)+off+len(data)); err != nil {
+		return err
+	}
+	h.Writes++
+	copy(h.Mem[base+off:], data)
+	return nil
+}
+
+// ReadWord reads a little-endian uint64 from the object's data area.
+func (h *Heap) ReadWord(a Addr, off int) uint64 {
+	h.Reads++
+	return binary.LittleEndian.Uint64(h.Mem[h.DataOff(a)+off:])
+}
+
+// WriteWord writes a little-endian uint64 into the object's data area.
+func (h *Heap) WriteWord(a Addr, off int, v uint64) {
+	h.Writes++
+	binary.LittleEndian.PutUint64(h.Mem[h.DataOff(a)+off:], v)
+}
+
+// TotalSize returns the rounded-up allocation size for a payload with
+// ptrCount pointer slots and dataBytes of raw data (8-byte granule).
+func TotalSize(ptrCount, dataBytes int) int {
+	n := HeaderSize + ptrCount*PtrSize + dataBytes
+	return (n + 7) &^ 7
+}

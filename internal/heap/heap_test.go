@@ -1,0 +1,124 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInitAndHeaderRoundTrip(t *testing.T) {
+	h := New(4096)
+	a := Addr(8)
+	h.InitObject(a, 40, 3, FlagMark)
+	if h.ObjSize(a) != 40 || h.PtrCount(a) != 3 || h.Flags(a) != FlagMark {
+		t.Fatalf("header = %d/%d/%d", h.ObjSize(a), h.PtrCount(a), h.Flags(a))
+	}
+	if h.PayloadSize(a) != 32 {
+		t.Errorf("payload = %d", h.PayloadSize(a))
+	}
+}
+
+func TestPtrSlots(t *testing.T) {
+	h := New(4096)
+	a := Addr(8)
+	h.InitObject(a, 40, 3, 0)
+	h.SetPtrSlot(a, 0, 100)
+	h.SetPtrSlot(a, 2, 200)
+	if h.PtrSlot(a, 0) != 100 || h.PtrSlot(a, 1) != Nil || h.PtrSlot(a, 2) != 200 {
+		t.Fatalf("slots = %d %d %d", h.PtrSlot(a, 0), h.PtrSlot(a, 1), h.PtrSlot(a, 2))
+	}
+}
+
+func TestDataAfterPtrSlots(t *testing.T) {
+	h := New(4096)
+	a := Addr(8)
+	h.InitObject(a, TotalSize(2, 16), 2, 0)
+	if h.DataOff(a) != int(a)+HeaderSize+2*PtrSize {
+		t.Fatalf("data off = %d", h.DataOff(a))
+	}
+	h.WriteWord(a, 0, 0xDEADBEEFCAFE)
+	h.WriteWord(a, 8, 42)
+	if h.ReadWord(a, 0) != 0xDEADBEEFCAFE || h.ReadWord(a, 8) != 42 {
+		t.Fatal("word round trip failed")
+	}
+	// Writing data must not clobber pointer slots.
+	h.SetPtrSlot(a, 1, 77)
+	h.WriteWord(a, 0, 1)
+	if h.PtrSlot(a, 1) != 77 {
+		t.Fatal("data write clobbered pointer slot")
+	}
+}
+
+func TestReadWriteDataBounds(t *testing.T) {
+	h := New(256)
+	a := Addr(8)
+	h.InitObject(a, TotalSize(0, 8), 0, 0)
+	if _, err := h.ReadData(a, 0, 8); err != nil {
+		t.Fatalf("in-bounds read: %v", err)
+	}
+	if err := h.WriteData(a, 0, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("in-bounds write: %v", err)
+	}
+	b, _ := h.ReadData(a, 0, 3)
+	if b[0] != 1 || b[2] != 3 {
+		t.Fatal("data mismatch")
+	}
+	if _, err := h.ReadData(Nil, 0, 1); err == nil {
+		t.Error("nil read accepted")
+	}
+	if _, err := h.ReadData(Addr(250), 0, 64); err == nil {
+		t.Error("out-of-bounds read accepted")
+	}
+}
+
+func TestInitZeroesPayload(t *testing.T) {
+	h := New(256)
+	a := Addr(8)
+	h.InitObject(a, TotalSize(1, 8), 1, 0)
+	h.SetPtrSlot(a, 0, 99)
+	h.WriteWord(a, 0, ^uint64(0))
+	// Re-init over the same spot: payload must be zero again.
+	h.InitObject(a, TotalSize(1, 8), 1, 0)
+	if h.PtrSlot(a, 0) != Nil || h.ReadWord(a, 0) != 0 {
+		t.Fatal("re-init did not zero payload")
+	}
+}
+
+func TestTotalSizeRounding(t *testing.T) {
+	cases := []struct{ ptrs, data, want int }{
+		{0, 0, 8},
+		{0, 1, 16},
+		{1, 0, 16},
+		{2, 0, 16},
+		{2, 4, 24},
+		{0, 8, 16},
+	}
+	for _, c := range cases {
+		if got := TotalSize(c.ptrs, c.data); got != c.want {
+			t.Errorf("TotalSize(%d,%d) = %d, want %d", c.ptrs, c.data, got, c.want)
+		}
+	}
+}
+
+// Property: TotalSize is always 8-aligned and at least header + contents.
+func TestTotalSizeProperty(t *testing.T) {
+	check := func(p, d uint8) bool {
+		ptrs, data := int(p%16), int(d)
+		s := TotalSize(ptrs, data)
+		return s%8 == 0 && s >= HeaderSize+ptrs*PtrSize+data
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	h := New(256)
+	a := Addr(8)
+	h.InitObject(a, TotalSize(1, 8), 1, 0)
+	r0, w0 := h.Reads, h.Writes
+	h.SetPtrSlot(a, 0, 1)
+	_ = h.PtrSlot(a, 0)
+	if h.Writes <= w0 || h.Reads <= r0 {
+		t.Error("traffic counters not advancing")
+	}
+}

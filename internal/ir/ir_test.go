@@ -1,0 +1,93 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"bitc/internal/types"
+)
+
+func TestOpStringsComplete(t *testing.T) {
+	for op := OpConst; op <= OpGlobalGet; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", int(op))
+		}
+	}
+	if !strings.Contains(Op(999).String(), "999") {
+		t.Error("unknown op string")
+	}
+}
+
+func TestInstrStringVariants(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpConst, Dst: 0, CKind: ConstInt, Imm: 42}, "r0 = const 42"},
+		{Instr{Op: OpConst, Dst: 1, CKind: ConstFloat, FImm: 1.5}, "1.5"},
+		{Instr{Op: OpConst, Dst: 1, CKind: ConstBool, Imm: 1}, "true"},
+		{Instr{Op: OpConst, Dst: 1, CKind: ConstChar, Imm: 'q'}, `#\q`},
+		{Instr{Op: OpConst, Dst: 1, CKind: ConstString, Str: "hi"}, `"hi"`},
+		{Instr{Op: OpConst, Dst: 1, CKind: ConstUnit}, "()"},
+		{Instr{Op: OpMov, Dst: 2, A: 1}, "r2 = mov r1"},
+		{Instr{Op: OpAdd, Dst: 3, A: 1, B: 2}, "r3 = add r1 r2"},
+		{Instr{Op: OpCall, Dst: 4, Imm: 7, Args: []Reg{1, 2}}, "call #7 (r1 r2)"},
+		{Instr{Op: OpCallClosure, Dst: 4, A: 3, Args: []Reg{1}}, "callc r3 (r1)"},
+		{Instr{Op: OpBuiltin, Dst: 4, Str: "println", Args: []Reg{1}}, "builtin println"},
+		{Instr{Op: OpGetField, Dst: 5, A: 4, Imm: 2}, "getfield r4.2"},
+		{Instr{Op: OpSetField, A: 4, B: 5, Imm: 1}, "setfield r4.1 = r5"},
+		{Instr{Op: OpVecRef, Dst: 6, A: 4, B: 5}, "vecref r4[r5]"},
+		{Instr{Op: OpVecSet, A: 4, B: 5, Args: []Reg{6}}, "vecset r4[r5] = r6"},
+		{Instr{Op: OpNewVector, Dst: 6, A: 1, B: 2}, "newvec len=r1 fill=r2"},
+		{Instr{Op: OpAssert, A: 1, Str: "boom"}, `assert r1 "boom"`},
+		{Instr{Op: OpCast, Dst: 2, A: 1, Type: types.Int32}, "cast r1 to int32"},
+		{Instr{Op: OpNewUnion, Dst: 2, Str: "u", Imm: 1, Args: []Reg{0}}, "newunion u tag=1"},
+		{Instr{Op: OpLockAcquire, Str: "m"}, "lock m"},
+		{Instr{Op: OpAdd, Dst: 1, A: 2, B: 3, NoBox: true}, "add!"},
+	}
+	for _, c := range cases {
+		got := c.in.String()
+		if !strings.Contains(got, c.want) {
+			t.Errorf("%v rendered %q, want substring %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestTerminatorStrings(t *testing.T) {
+	if s := (Terminator{Kind: TermJump, To: 3}).String(); s != "jmp b3" {
+		t.Errorf("jump = %q", s)
+	}
+	if s := (Terminator{Kind: TermBranch, Cond: 2, To: 1, Else: 4}).String(); s != "br r2 b1 b4" {
+		t.Errorf("branch = %q", s)
+	}
+	if s := (Terminator{Kind: TermReturn, Val: 5}).String(); s != "ret r5" {
+		t.Errorf("return = %q", s)
+	}
+	if s := (Terminator{Kind: TermReturn, Val: NoReg}).String(); s != "ret" {
+		t.Errorf("bare return = %q", s)
+	}
+}
+
+func TestNewBlockNumbering(t *testing.T) {
+	f := &Func{Name: "f"}
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	if b0.ID != 0 || b1.ID != 1 || len(f.Blocks) != 2 {
+		t.Errorf("blocks: %d %d (%d)", b0.ID, b1.ID, len(f.Blocks))
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	f := &Func{Name: "demo", NumParams: 1, NumRegs: 3}
+	b := f.NewBlock()
+	b.Instrs = append(b.Instrs, Instr{Op: OpConst, Dst: 1, CKind: ConstInt, Imm: 2})
+	b.Instrs = append(b.Instrs, Instr{Op: OpAdd, Dst: 2, A: 0, B: 1})
+	b.Term = Terminator{Kind: TermReturn, Val: 2}
+	s := f.String()
+	for _, want := range []string{"func demo", "b0:", "const 2", "add", "ret r2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("func dump missing %q:\n%s", want, s)
+		}
+	}
+}

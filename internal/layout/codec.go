@@ -1,0 +1,186 @@
+package layout
+
+import (
+	"fmt"
+
+	"bitc/internal/types"
+)
+
+// ByteOrder selects how multi-byte scalar fields are serialised.
+type ByteOrder int
+
+// Byte orders. Bitfields always pack LSB-first within their storage unit;
+// the order applies to whole storage units and plain scalar fields.
+const (
+	LittleEndian ByteOrder = iota
+	BigEndian
+)
+
+func (o ByteOrder) String() string {
+	if o == BigEndian {
+		return "big-endian"
+	}
+	return "little-endian"
+}
+
+// scalarEncodable reports whether a field can be carried in a flat byte
+// encoding (ints, bool, char, float bits, bitfields).
+func scalarEncodable(f *Field) bool {
+	if f.IsBitfield() {
+		return true
+	}
+	t := types.Prune(f.Type)
+	switch t.Kind {
+	case types.KBool, types.KChar, types.KInt, types.KFloat:
+		return true
+	default:
+		return false
+	}
+}
+
+// Encodable reports whether every field of the layout is flat-encodable,
+// i.e. the struct describes a wire format.
+func (l *StructLayout) Encodable() bool {
+	for i := range l.Fields {
+		if !scalarEncodable(&l.Fields[i]) {
+			return false
+		}
+	}
+	return l.Mode != Boxed
+}
+
+func putUint(buf []byte, off, size int, order ByteOrder, v uint64) {
+	for i := 0; i < size; i++ {
+		shift := uint(8 * i)
+		if order == BigEndian {
+			shift = uint(8 * (size - 1 - i))
+		}
+		buf[off+i] = byte(v >> shift)
+	}
+}
+
+func getUint(buf []byte, off, size int, order ByteOrder) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		shift := uint(8 * i)
+		if order == BigEndian {
+			shift = uint(8 * (size - 1 - i))
+		}
+		v |= uint64(buf[off+i]) << shift
+	}
+	return v
+}
+
+// Put writes v into the named field of buf (an instance laid out by l).
+func (l *StructLayout) Put(buf []byte, field string, order ByteOrder, v uint64) error {
+	f := l.FieldByName(field)
+	if f == nil {
+		return fmt.Errorf("layout %s: no field %s", l.Name, field)
+	}
+	if !scalarEncodable(f) {
+		return fmt.Errorf("layout %s: field %s is not flat-encodable", l.Name, field)
+	}
+	if f.ByteOff+f.Size > len(buf) {
+		return fmt.Errorf("layout %s: buffer too small (%d bytes) for field %s", l.Name, len(buf), field)
+	}
+	if !f.IsBitfield() {
+		putUint(buf, f.ByteOff, f.Size, order, v)
+		return nil
+	}
+	// Bitfields span at most their storage unit plus one byte in packed
+	// mode; operate on a window large enough for the whole bit range.
+	window := (f.BitOff + f.BitWidth + 7) / 8
+	if f.ByteOff+window > len(buf) {
+		return fmt.Errorf("layout %s: buffer too small for bitfield %s", l.Name, field)
+	}
+	mask := uint64(1)<<uint(f.BitWidth) - 1
+	cur := getUint(buf, f.ByteOff, window, LittleEndian)
+	cur = cur&^(mask<<uint(f.BitOff)) | (v&mask)<<uint(f.BitOff)
+	putUint(buf, f.ByteOff, window, LittleEndian, cur)
+	return nil
+}
+
+// Get reads the named field from buf.
+func (l *StructLayout) Get(buf []byte, field string, order ByteOrder) (uint64, error) {
+	f := l.FieldByName(field)
+	if f == nil {
+		return 0, fmt.Errorf("layout %s: no field %s", l.Name, field)
+	}
+	if !scalarEncodable(f) {
+		return 0, fmt.Errorf("layout %s: field %s is not flat-encodable", l.Name, field)
+	}
+	if !f.IsBitfield() {
+		if f.ByteOff+f.Size > len(buf) {
+			return 0, fmt.Errorf("layout %s: buffer too small for field %s", l.Name, field)
+		}
+		v := getUint(buf, f.ByteOff, f.Size, order)
+		return truncateToType(v, f), nil
+	}
+	window := (f.BitOff + f.BitWidth + 7) / 8
+	if f.ByteOff+window > len(buf) {
+		return 0, fmt.Errorf("layout %s: buffer too small for bitfield %s", l.Name, field)
+	}
+	cur := getUint(buf, f.ByteOff, window, LittleEndian)
+	mask := uint64(1)<<uint(f.BitWidth) - 1
+	return cur >> uint(f.BitOff) & mask, nil
+}
+
+func truncateToType(v uint64, f *Field) uint64 {
+	t := types.Prune(f.Type)
+	switch t.Kind {
+	case types.KBool:
+		return v & 1
+	case types.KInt:
+		if t.Bits < 64 {
+			return v & (uint64(1)<<uint(t.Bits) - 1)
+		}
+	}
+	return v
+}
+
+// Encode serialises field values (by name) into a fresh buffer of l.Size.
+// Missing fields encode as zero; unknown names are an error.
+func (l *StructLayout) Encode(vals map[string]uint64, order ByteOrder) ([]byte, error) {
+	if !l.Encodable() {
+		return nil, fmt.Errorf("layout %s (%s) is not flat-encodable", l.Name, l.Mode)
+	}
+	buf := make([]byte, l.Size)
+	for name, v := range vals {
+		if err := l.Put(buf, name, order, v); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// Decode reads every field of an encoded instance.
+func (l *StructLayout) Decode(buf []byte, order ByteOrder) (map[string]uint64, error) {
+	if !l.Encodable() {
+		return nil, fmt.Errorf("layout %s (%s) is not flat-encodable", l.Name, l.Mode)
+	}
+	out := make(map[string]uint64, len(l.Fields))
+	for i := range l.Fields {
+		v, err := l.Get(buf, l.Fields[i].Name, order)
+		if err != nil {
+			return nil, err
+		}
+		out[l.Fields[i].Name] = v
+	}
+	return out, nil
+}
+
+// Describe renders a human-readable offset table, one line per field —
+// the output of `bitc dump-layout`.
+func (l *StructLayout) Describe() string {
+	s := fmt.Sprintf("struct %s (%s): size=%d align=%d padding=%d\n",
+		l.Name, l.Mode, l.Size, l.Align, l.PaddingBytes())
+	for _, f := range l.Fields {
+		if f.IsBitfield() {
+			s += fmt.Sprintf("  %-12s @%d.%d width=%d bits (unit %dB)\n",
+				f.Name, f.ByteOff, f.BitOff, f.BitWidth, f.Size)
+		} else {
+			s += fmt.Sprintf("  %-12s @%-4d %dB %s\n", f.Name, f.ByteOff, f.Size, types.Prune(f.Type))
+		}
+	}
+	return s
+}

@@ -1,0 +1,384 @@
+// Package layout is bitc's data-representation engine: it computes concrete
+// machine-level layouts (sizes, alignments, offsets, bitfield packing) for
+// struct and union types under three representation modes, and can encode and
+// decode instances to raw bytes.
+//
+// This is the substrate for the paper's challenge 3 ("control over data
+// representation") and for fallacies 2–3: the same declared type has a very
+// different footprint under programmer-controlled packed layout, natural
+// C-style layout, and an ML-style uniform boxed representation — and no
+// optimiser is allowed to turn one into another once representation has been
+// abstracted away.
+package layout
+
+import (
+	"fmt"
+
+	"bitc/internal/types"
+)
+
+// Mode selects the representation strategy.
+type Mode int
+
+// Representation modes.
+const (
+	// Natural is C-like layout: fields at naturally aligned offsets, with
+	// padding; adjacent bitfields share storage units.
+	Natural Mode = iota
+	// Packed eliminates padding: fields are byte-aligned back to back and
+	// bitfields are bit-contiguous.
+	Packed
+	// Boxed is the uniform representation of classic ML/Haskell
+	// implementations: every field is a word-sized pointer to a heap box.
+	Boxed
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Natural:
+		return "natural"
+	case Packed:
+		return "packed"
+	case Boxed:
+		return "boxed"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Target describes the simulated machine.
+type Target struct {
+	PointerSize int // bytes; 8 on the default target
+	BoxHeader   int // per-box header bytes in Boxed mode
+	CacheLine   int // bytes per cache line, for the access cost model
+	MaxAlign    int // maximum useful alignment
+}
+
+// DefaultTarget is a 64-bit little-endian machine with 64-byte cache lines.
+var DefaultTarget = Target{PointerSize: 8, BoxHeader: 8, CacheLine: 64, MaxAlign: 16}
+
+// Field is one laid-out field.
+type Field struct {
+	Name     string
+	Type     *types.Type
+	ByteOff  int // byte offset of the storage unit
+	BitOff   int // bit offset within the storage unit (0 for plain fields)
+	BitWidth int // bit width; 0 means the whole unit
+	Size     int // storage unit size in bytes
+}
+
+// IsBitfield reports whether the field occupies a sub-unit bit range.
+func (f *Field) IsBitfield() bool { return f.BitWidth != 0 }
+
+// StructLayout is a computed struct layout.
+type StructLayout struct {
+	Name   string
+	Mode   Mode
+	Size   int // total size in bytes, including padding
+	Align  int
+	Fields []Field
+
+	target Target
+}
+
+// FieldByName returns the laid-out field, or nil.
+func (l *StructLayout) FieldByName(name string) *Field {
+	for i := range l.Fields {
+		if l.Fields[i].Name == name {
+			return &l.Fields[i]
+		}
+	}
+	return nil
+}
+
+// PaddingBytes returns how many bytes of the layout are padding.
+func (l *StructLayout) PaddingBytes() int {
+	used := 0
+	seen := map[int]int{} // storage unit offset -> size (bitfields share)
+	for _, f := range l.Fields {
+		if f.IsBitfield() {
+			if s, ok := seen[f.ByteOff]; !ok || f.Size > s {
+				seen[f.ByteOff] = f.Size
+			}
+			continue
+		}
+		used += f.Size
+	}
+	for _, s := range seen {
+		used += s
+	}
+	if used > l.Size {
+		return 0
+	}
+	return l.Size - used
+}
+
+// BoxedFootprint returns the total heap footprint of one instance in Boxed
+// mode: the field-pointer record plus one box per field.
+func (l *StructLayout) BoxedFootprint() int {
+	if l.Mode != Boxed {
+		return l.Size
+	}
+	t := l.target
+	return l.Size + len(l.Fields)*(t.BoxHeader+t.PointerSize)
+}
+
+// CacheLines returns how many distinct cache lines an instance spans.
+func (l *StructLayout) CacheLines() int {
+	if l.Size == 0 {
+		return 0
+	}
+	return (l.Size + l.target.CacheLine - 1) / l.target.CacheLine
+}
+
+// SizeOf returns the in-slot size of a value of type t under mode: the bytes
+// a struct field or array element of that type occupies.
+func SizeOf(t *types.Type, mode Mode) int {
+	return DefaultTarget.SizeOf(t, mode)
+}
+
+// SizeOf is the Target-aware version of the package-level SizeOf.
+func (tg Target) SizeOf(t *types.Type, mode Mode) int {
+	t = types.Prune(t)
+	if mode == Boxed {
+		return tg.PointerSize // uniform representation: everything is a pointer
+	}
+	switch t.Kind {
+	case types.KUnit:
+		return 0
+	case types.KBool:
+		return 1
+	case types.KChar:
+		return 4
+	case types.KInt:
+		return t.Bits / 8
+	case types.KFloat:
+		return 8
+	case types.KString, types.KVector, types.KChan, types.KFn:
+		return tg.PointerSize // heap-allocated, held by reference
+	case types.KStruct:
+		if t.SDecl.Boxed {
+			return tg.PointerSize
+		}
+		l, err := tg.Of(t.SDecl, mode)
+		if err != nil {
+			return tg.PointerSize
+		}
+		return l.Size
+	case types.KUnion:
+		// Union values are held by reference (they may be recursive, and the
+		// VM represents them as tagged heap cells); a union-typed slot is a
+		// pointer. OfUnion describes the heap cell itself.
+		return tg.PointerSize
+	case types.KArray:
+		return t.Len * tg.SizeOf(t.Elem, mode)
+	default:
+		return tg.PointerSize
+	}
+}
+
+// AlignOf returns the natural alignment of t under mode.
+func (tg Target) AlignOf(t *types.Type, mode Mode) int {
+	if mode == Packed {
+		return 1
+	}
+	if mode == Boxed {
+		return tg.PointerSize
+	}
+	t = types.Prune(t)
+	switch t.Kind {
+	case types.KUnit:
+		return 1
+	case types.KBool:
+		return 1
+	case types.KChar:
+		return 4
+	case types.KInt:
+		return t.Bits / 8
+	case types.KFloat:
+		return 8
+	case types.KString, types.KVector, types.KChan, types.KFn:
+		return tg.PointerSize
+	case types.KStruct:
+		if t.SDecl.Boxed {
+			return tg.PointerSize
+		}
+		l, err := tg.Of(t.SDecl, mode)
+		if err != nil {
+			return tg.PointerSize
+		}
+		return l.Align
+	case types.KUnion:
+		return tg.PointerSize // by-reference, see SizeOf
+	case types.KArray:
+		return tg.AlignOf(t.Elem, mode)
+	default:
+		return tg.PointerSize
+	}
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// Of computes the layout of si under mode on the default target.
+func Of(si *types.StructInfo, mode Mode) (*StructLayout, error) {
+	return DefaultTarget.Of(si, mode)
+}
+
+// Of computes the layout of si under mode.
+func (tg Target) Of(si *types.StructInfo, mode Mode) (*StructLayout, error) {
+	l := &StructLayout{Name: si.Name, Mode: mode, Align: 1, target: tg}
+	if mode == Boxed {
+		// Uniform representation: a record of word-sized pointers.
+		off := 0
+		for _, f := range si.Fields {
+			l.Fields = append(l.Fields, Field{
+				Name: f.Name, Type: f.Type, ByteOff: off, Size: tg.PointerSize,
+			})
+			off += tg.PointerSize
+		}
+		l.Size = off
+		l.Align = tg.PointerSize
+		return l, nil
+	}
+
+	off := 0      // current byte offset
+	bitOff := -1  // current bit offset within an open bitfield unit; -1 = closed
+	unitOff := 0  // byte offset of the open bitfield unit
+	unitSize := 0 // size of the open bitfield unit
+
+	closeUnit := func() {
+		if bitOff >= 0 {
+			off = unitOff + unitSize
+			bitOff = -1
+		}
+	}
+
+	for _, f := range si.Fields {
+		fsize := tg.SizeOf(f.Type, mode)
+		if f.Bits != 0 {
+			base := types.Prune(f.Type)
+			if base.Kind != types.KInt {
+				return nil, fmt.Errorf("struct %s: bitfield %s has non-integer base", si.Name, f.Name)
+			}
+			baseSize := base.Bits / 8
+			if mode == Packed {
+				// Bit-contiguous packing across the whole struct.
+				if bitOff < 0 {
+					bitOff = 0
+					unitOff = off
+					unitSize = 0
+				}
+				// Offsets are bit-based from unitOff.
+				fieldBitStart := bitOff
+				l.Fields = append(l.Fields, Field{
+					Name: f.Name, Type: f.Type,
+					ByteOff: unitOff + fieldBitStart/8, BitOff: fieldBitStart % 8,
+					BitWidth: f.Bits, Size: baseSize,
+				})
+				bitOff += f.Bits
+				unitSize = (bitOff + 7) / 8
+				continue
+			}
+			// Natural mode: C-style unit sharing.
+			if bitOff < 0 || unitSize != baseSize || bitOff+f.Bits > baseSize*8 {
+				closeUnit()
+				off = alignUp(off, baseSize)
+				unitOff = off
+				unitSize = baseSize
+				bitOff = 0
+			}
+			l.Fields = append(l.Fields, Field{
+				Name: f.Name, Type: f.Type,
+				ByteOff: unitOff, BitOff: bitOff, BitWidth: f.Bits, Size: baseSize,
+			})
+			bitOff += f.Bits
+			if baseSize > 0 && baseSize > l.Align {
+				l.Align = baseSize
+			}
+			continue
+		}
+
+		closeUnit()
+		falign := tg.AlignOf(f.Type, mode)
+		if mode == Packed {
+			falign = 1
+		}
+		off = alignUp(off, falign)
+		l.Fields = append(l.Fields, Field{
+			Name: f.Name, Type: f.Type, ByteOff: off, Size: fsize,
+		})
+		off += fsize
+		if falign > l.Align {
+			l.Align = falign
+		}
+	}
+	closeUnit()
+
+	if mode == Packed {
+		l.Align = 1
+	}
+	if si.Align > 0 {
+		l.Align = si.Align
+		if l.Align > tg.MaxAlign {
+			l.Align = tg.MaxAlign
+		}
+	}
+	l.Size = alignUp(off, l.Align)
+	if l.Size == 0 {
+		l.Size = 1 // empty structs still occupy a byte, as in C
+	}
+	return l, nil
+}
+
+// UnionLayout is the computed layout of a tagged union: a tag followed by the
+// payload area sized for the largest arm.
+type UnionLayout struct {
+	Name    string
+	Mode    Mode
+	Size    int
+	Align   int
+	TagSize int
+	Arms    []*StructLayout // one pseudo-struct layout per arm's payload
+}
+
+// OfUnion computes the layout of u under mode on the default target.
+func OfUnion(u *types.UnionInfo, mode Mode) (*UnionLayout, error) {
+	return DefaultTarget.OfUnion(u, mode)
+}
+
+// OfUnion computes the layout of u under mode.
+func (tg Target) OfUnion(u *types.UnionInfo, mode Mode) (*UnionLayout, error) {
+	ul := &UnionLayout{Name: u.Name, Mode: mode, TagSize: 1, Align: 1}
+	if len(u.Arms) > 256 {
+		ul.TagSize = 2
+	}
+	maxPayload := 0
+	for _, arm := range u.Arms {
+		pseudo := &types.StructInfo{Name: u.Name + "." + arm.Name, Fields: arm.Fields, Packed: mode == Packed}
+		al, err := tg.Of(pseudo, mode)
+		if err != nil {
+			return nil, err
+		}
+		ul.Arms = append(ul.Arms, al)
+		if len(arm.Fields) == 0 {
+			continue // empty payload layout has the C minimum size 1; ignore
+		}
+		if al.Size > maxPayload {
+			maxPayload = al.Size
+		}
+		if al.Align > ul.Align {
+			ul.Align = al.Align
+		}
+	}
+	if mode == Packed {
+		ul.Align = 1
+	}
+	payloadOff := alignUp(ul.TagSize, ul.Align)
+	ul.Size = alignUp(payloadOff+maxPayload, ul.Align)
+	return ul, nil
+}

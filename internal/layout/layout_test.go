@@ -1,0 +1,368 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bitc/internal/types"
+)
+
+func mkStruct(name string, fields ...types.FieldInfo) *types.StructInfo {
+	return &types.StructInfo{Name: name, Fields: fields}
+}
+
+func fi(name string, t *types.Type) types.FieldInfo {
+	return types.FieldInfo{Name: name, Type: t}
+}
+
+func bf(name string, t *types.Type, bits int) types.FieldInfo {
+	return types.FieldInfo{Name: name, Type: t, Bits: bits}
+}
+
+func mustLayout(t *testing.T, si *types.StructInfo, mode Mode) *StructLayout {
+	t.Helper()
+	l, err := Of(si, mode)
+	if err != nil {
+		t.Fatalf("layout %s/%v: %v", si.Name, mode, err)
+	}
+	return l
+}
+
+func TestNaturalPaddingLikeC(t *testing.T) {
+	// struct { u8 a; u64 b; u16 c; } — C gives 24 bytes on a 64-bit target.
+	si := mkStruct("s", fi("a", types.Uint8), fi("b", types.Uint64), fi("c", types.Uint16))
+	l := mustLayout(t, si, Natural)
+	if l.Size != 24 || l.Align != 8 {
+		t.Fatalf("size=%d align=%d, want 24/8", l.Size, l.Align)
+	}
+	if l.FieldByName("b").ByteOff != 8 || l.FieldByName("c").ByteOff != 16 {
+		t.Errorf("offsets: b=%d c=%d", l.FieldByName("b").ByteOff, l.FieldByName("c").ByteOff)
+	}
+	if l.PaddingBytes() != 13 {
+		t.Errorf("padding = %d, want 13", l.PaddingBytes())
+	}
+}
+
+func TestPackedEliminatesPadding(t *testing.T) {
+	si := mkStruct("s", fi("a", types.Uint8), fi("b", types.Uint64), fi("c", types.Uint16))
+	l := mustLayout(t, si, Packed)
+	if l.Size != 11 || l.Align != 1 {
+		t.Fatalf("size=%d align=%d, want 11/1", l.Size, l.Align)
+	}
+	if l.FieldByName("b").ByteOff != 1 || l.FieldByName("c").ByteOff != 9 {
+		t.Errorf("offsets: b=%d c=%d", l.FieldByName("b").ByteOff, l.FieldByName("c").ByteOff)
+	}
+	if l.PaddingBytes() != 0 {
+		t.Errorf("padding = %d", l.PaddingBytes())
+	}
+}
+
+func TestBoxedUniformRepresentation(t *testing.T) {
+	si := mkStruct("s", fi("a", types.Uint8), fi("b", types.Uint64), fi("c", types.Uint16))
+	l := mustLayout(t, si, Boxed)
+	if l.Size != 24 { // three pointers
+		t.Fatalf("size = %d, want 24", l.Size)
+	}
+	// Footprint adds a 16-byte box per field.
+	if got := l.BoxedFootprint(); got != 24+3*16 {
+		t.Errorf("boxed footprint = %d, want %d", got, 24+3*16)
+	}
+}
+
+func TestBitfieldsShareUnitNaturally(t *testing.T) {
+	// struct { u32 a:12; u32 b:12; u32 c:8; u8 d; } — one u32 unit + 1 byte.
+	si := mkStruct("h",
+		bf("a", types.Uint32, 12), bf("b", types.Uint32, 12), bf("c", types.Uint32, 8),
+		fi("d", types.Uint8))
+	l := mustLayout(t, si, Natural)
+	a, b, c := l.FieldByName("a"), l.FieldByName("b"), l.FieldByName("c")
+	if a.ByteOff != 0 || a.BitOff != 0 || b.BitOff != 12 || c.BitOff != 24 {
+		t.Fatalf("bit offsets: a=%d.%d b=%d.%d c=%d.%d", a.ByteOff, a.BitOff, b.ByteOff, b.BitOff, c.ByteOff, c.BitOff)
+	}
+	if l.FieldByName("d").ByteOff != 4 {
+		t.Errorf("d off = %d", l.FieldByName("d").ByteOff)
+	}
+	if l.Size != 8 { // 5 bytes rounded to align 4
+		t.Errorf("size = %d, want 8", l.Size)
+	}
+}
+
+func TestBitfieldOverflowOpensNewUnit(t *testing.T) {
+	// u8 a:5; u8 b:5 — b does not fit in the same byte.
+	si := mkStruct("h", bf("a", types.Uint8, 5), bf("b", types.Uint8, 5))
+	l := mustLayout(t, si, Natural)
+	b := l.FieldByName("b")
+	if b.ByteOff != 1 || b.BitOff != 0 {
+		t.Fatalf("b at %d.%d, want 1.0", b.ByteOff, b.BitOff)
+	}
+	if l.Size != 2 {
+		t.Errorf("size = %d", l.Size)
+	}
+}
+
+func TestPackedBitfieldsBitContiguous(t *testing.T) {
+	// Packed: 5 + 5 bits = 10 bits = 2 bytes.
+	si := &types.StructInfo{Name: "h", Packed: true,
+		Fields: []types.FieldInfo{bf("a", types.Uint8, 5), bf("b", types.Uint8, 5)}}
+	l := mustLayout(t, si, Packed)
+	b := l.FieldByName("b")
+	if b.ByteOff != 0 || b.BitOff != 5 {
+		t.Fatalf("b at %d.%d, want 0.5", b.ByteOff, b.BitOff)
+	}
+	if l.Size != 2 {
+		t.Errorf("size = %d, want 2", l.Size)
+	}
+}
+
+func TestExplicitAlignOverride(t *testing.T) {
+	si := &types.StructInfo{Name: "s", Align: 16,
+		Fields: []types.FieldInfo{fi("a", types.Uint8)}}
+	l := mustLayout(t, si, Natural)
+	if l.Align != 16 || l.Size != 16 {
+		t.Errorf("align=%d size=%d, want 16/16", l.Align, l.Size)
+	}
+}
+
+func TestEmptyStructHasSizeOne(t *testing.T) {
+	l := mustLayout(t, mkStruct("e"), Natural)
+	if l.Size != 1 {
+		t.Errorf("size = %d", l.Size)
+	}
+}
+
+func TestNestedStructByValue(t *testing.T) {
+	inner := mkStruct("inner", fi("x", types.Uint32), fi("y", types.Uint32))
+	outer := mkStruct("outer", fi("tag", types.Uint8), fi("in", types.Struct(inner)), fi("z", types.Uint8))
+	l := mustLayout(t, outer, Natural)
+	if l.FieldByName("in").ByteOff != 4 || l.FieldByName("in").Size != 8 {
+		t.Errorf("in at %d size %d", l.FieldByName("in").ByteOff, l.FieldByName("in").Size)
+	}
+	if l.Size != 16 {
+		t.Errorf("size = %d, want 16", l.Size)
+	}
+}
+
+func TestBoxedStructFieldIsPointer(t *testing.T) {
+	inner := mkStruct("inner", fi("x", types.Uint32))
+	boxed := &types.StructInfo{Name: "b", Boxed: true, Fields: []types.FieldInfo{fi("x", types.Uint32)}}
+	outer := mkStruct("outer", fi("in", types.Struct(inner)), fi("bx", types.Struct(boxed)))
+	l := mustLayout(t, outer, Natural)
+	if l.FieldByName("in").Size != 4 {
+		t.Errorf("by-value inner size = %d", l.FieldByName("in").Size)
+	}
+	if l.FieldByName("bx").Size != 8 {
+		t.Errorf(":boxed struct field size = %d, want pointer", l.FieldByName("bx").Size)
+	}
+}
+
+func TestArrayField(t *testing.T) {
+	si := mkStruct("s", fi("data", types.Array(types.Uint8, 16)), fi("len", types.Uint32))
+	l := mustLayout(t, si, Natural)
+	if l.FieldByName("data").Size != 16 || l.FieldByName("len").ByteOff != 16 {
+		t.Errorf("data size=%d len off=%d", l.FieldByName("data").Size, l.FieldByName("len").ByteOff)
+	}
+	if l.Size != 20 {
+		t.Errorf("size = %d", l.Size)
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := &types.UnionInfo{Name: "shape", Arms: []*types.ArmInfo{
+		{Name: "Circle", Tag: 0, Fields: []types.FieldInfo{fi("r", types.Float64)}},
+		{Name: "Rect", Tag: 1, Fields: []types.FieldInfo{fi("w", types.Float64), fi("h", types.Float64)}},
+		{Name: "Empty", Tag: 2},
+	}}
+	ul, err := OfUnion(u, Natural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tag(1) aligned to 8 + payload 16 = 24
+	if ul.Size != 24 || ul.Align != 8 {
+		t.Errorf("union size=%d align=%d, want 24/8", ul.Size, ul.Align)
+	}
+	ulp, err := OfUnion(u, Packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ulp.Size != 17 {
+		t.Errorf("packed union size=%d, want 17", ulp.Size)
+	}
+}
+
+func TestVectorAndStringAreReferences(t *testing.T) {
+	if SizeOf(types.Vector(types.Int32), Natural) != 8 {
+		t.Error("vector should be pointer-sized")
+	}
+	if SizeOf(types.String, Natural) != 8 {
+		t.Error("string should be pointer-sized")
+	}
+	if SizeOf(types.Int16, Boxed) != 8 {
+		t.Error("boxed scalar should be pointer-sized")
+	}
+}
+
+func TestEncodeDecodeRoundTripPlainFields(t *testing.T) {
+	si := mkStruct("s", fi("a", types.Uint8), fi("b", types.Uint32), fi("c", types.Uint16))
+	for _, mode := range []Mode{Natural, Packed} {
+		l := mustLayout(t, si, mode)
+		for _, order := range []ByteOrder{LittleEndian, BigEndian} {
+			in := map[string]uint64{"a": 0xAB, "b": 0xDEADBEEF, "c": 0x1234}
+			buf, err := l.Encode(in, order)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", mode, order, err)
+			}
+			out, err := l.Decode(buf, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, v := range in {
+				if out[k] != v {
+					t.Errorf("%v/%v: %s = %#x, want %#x", mode, order, k, out[k], v)
+				}
+			}
+		}
+	}
+}
+
+func TestEndianBytes(t *testing.T) {
+	si := mkStruct("s", fi("b", types.Uint32))
+	l := mustLayout(t, si, Packed)
+	buf, _ := l.Encode(map[string]uint64{"b": 0x11223344}, BigEndian)
+	if buf[0] != 0x11 || buf[3] != 0x44 {
+		t.Errorf("big-endian bytes: % x", buf)
+	}
+	buf, _ = l.Encode(map[string]uint64{"b": 0x11223344}, LittleEndian)
+	if buf[0] != 0x44 || buf[3] != 0x11 {
+		t.Errorf("little-endian bytes: % x", buf)
+	}
+}
+
+func TestBitfieldEncodeDecode(t *testing.T) {
+	si := mkStruct("h",
+		bf("version", types.Uint8, 4), bf("ihl", types.Uint8, 4),
+		fi("ttl", types.Uint8))
+	l := mustLayout(t, si, Natural)
+	buf, err := l.Encode(map[string]uint64{"version": 4, "ihl": 5, "ttl": 64}, BigEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// version in low nibble (LSB-first), ihl in high nibble.
+	if buf[0] != 0x54 {
+		t.Errorf("byte0 = %#x, want 0x54", buf[0])
+	}
+	out, err := l.Decode(buf, BigEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["version"] != 4 || out["ihl"] != 5 || out["ttl"] != 64 {
+		t.Errorf("decoded: %+v", out)
+	}
+}
+
+func TestBitfieldMasking(t *testing.T) {
+	si := mkStruct("h", bf("a", types.Uint8, 3), bf("b", types.Uint8, 5))
+	l := mustLayout(t, si, Natural)
+	buf := make([]byte, l.Size)
+	if err := l.Put(buf, "a", LittleEndian, 0xFF); err != nil { // over-wide value truncates
+		t.Fatal(err)
+	}
+	if err := l.Put(buf, "b", LittleEndian, 0x15); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := l.Get(buf, "a", LittleEndian)
+	b, _ := l.Get(buf, "b", LittleEndian)
+	if a != 7 || b != 0x15 {
+		t.Errorf("a=%d b=%#x", a, b)
+	}
+}
+
+func TestPutGetErrors(t *testing.T) {
+	si := mkStruct("s", fi("a", types.Uint32), fi("v", types.Vector(types.Int32)))
+	l := mustLayout(t, si, Natural)
+	if err := l.Put(nil, "a", LittleEndian, 1); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if err := l.Put(make([]byte, l.Size), "nope", LittleEndian, 1); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := l.Put(make([]byte, l.Size), "v", LittleEndian, 1); err == nil {
+		t.Error("aggregate field accepted")
+	}
+	if l.Encodable() {
+		t.Error("layout with a vector field claims to be encodable")
+	}
+	if _, err := l.Encode(nil, LittleEndian); err == nil {
+		t.Error("Encode on non-encodable layout")
+	}
+}
+
+func TestPackedNeverLargerThanNatural(t *testing.T) {
+	// Property: for random scalar structs, packed size <= natural size and
+	// both are <= boxed footprint.
+	scalars := []*types.Type{types.Uint8, types.Uint16, types.Uint32, types.Uint64,
+		types.Int8, types.Int32, types.Float64, types.Bool, types.Char}
+	check := func(picks []uint8) bool {
+		if len(picks) == 0 || len(picks) > 24 {
+			return true
+		}
+		var fields []types.FieldInfo
+		for i, p := range picks {
+			fields = append(fields, fi(fieldName(i), scalars[int(p)%len(scalars)]))
+		}
+		si := mkStruct("r", fields...)
+		nat, err1 := Of(si, Natural)
+		pk, err2 := Of(si, Packed)
+		bx, err3 := Of(si, Boxed)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return pk.Size <= nat.Size && nat.Size <= bx.BoxedFootprint() && pk.PaddingBytes() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary field values (mod truncation).
+func TestEncodeDecodeProperty(t *testing.T) {
+	si := mkStruct("s",
+		bf("f1", types.Uint16, 9), bf("f2", types.Uint16, 7),
+		fi("f3", types.Uint32), fi("f4", types.Uint8))
+	for _, mode := range []Mode{Natural, Packed} {
+		l := mustLayout(t, si, mode)
+		check := func(a, b uint16, c uint32, d uint8) bool {
+			in := map[string]uint64{
+				"f1": uint64(a) & 0x1FF, "f2": uint64(b) & 0x7F,
+				"f3": uint64(c), "f4": uint64(d),
+			}
+			buf, err := l.Encode(in, LittleEndian)
+			if err != nil {
+				return false
+			}
+			out, err := l.Decode(buf, LittleEndian)
+			if err != nil {
+				return false
+			}
+			for k, v := range in {
+				if out[k] != v {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+func fieldName(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestDescribeOutput(t *testing.T) {
+	si := mkStruct("hdr", bf("v", types.Uint8, 4), fi("ttl", types.Uint8))
+	l := mustLayout(t, si, Natural)
+	d := l.Describe()
+	if d == "" || l.CacheLines() != 1 {
+		t.Errorf("describe=%q lines=%d", d, l.CacheLines())
+	}
+}

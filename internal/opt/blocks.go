@@ -1,0 +1,93 @@
+package opt
+
+import (
+	"bitc/internal/ir"
+)
+
+// foldBranches rewrites branches whose condition is a block-local constant
+// into jumps, and returns how many it folded. Runs after constFold so
+// if-chains over constants collapse.
+func foldBranches(f *ir.Func) int {
+	folded := 0
+	for _, blk := range f.Blocks {
+		if blk.Term.Kind != ir.TermBranch {
+			continue
+		}
+		// Find the last definition of the condition register in this block.
+		var val *int64
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if in.Dst != blk.Term.Cond {
+				continue
+			}
+			if in.Op == ir.OpConst && (in.CKind == ir.ConstBool || in.CKind == ir.ConstInt) {
+				v := in.Imm
+				val = &v
+			} else {
+				val = nil
+			}
+		}
+		if val == nil {
+			continue
+		}
+		to := blk.Term.Else
+		if *val != 0 {
+			to = blk.Term.To
+		}
+		blk.Term = ir.Terminator{Kind: ir.TermJump, To: to}
+		folded++
+	}
+	return folded
+}
+
+// dropUnreachable removes blocks not reachable from the entry block,
+// remapping block IDs. Returns the number of blocks removed.
+func dropUnreachable(f *ir.Func) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	reach := make([]bool, len(f.Blocks))
+	stack := []int{0}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id < 0 || id >= len(f.Blocks) || reach[id] {
+			continue
+		}
+		reach[id] = true
+		t := f.Blocks[id].Term
+		switch t.Kind {
+		case ir.TermJump:
+			stack = append(stack, t.To)
+		case ir.TermBranch:
+			stack = append(stack, t.To, t.Else)
+		}
+	}
+	removed := 0
+	remap := make([]int, len(f.Blocks))
+	var kept []*ir.Block
+	for i, b := range f.Blocks {
+		if reach[i] {
+			remap[i] = len(kept)
+			b.ID = len(kept)
+			kept = append(kept, b)
+		} else {
+			remap[i] = -1
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	for _, b := range kept {
+		switch b.Term.Kind {
+		case ir.TermJump:
+			b.Term.To = remap[b.Term.To]
+		case ir.TermBranch:
+			b.Term.To = remap[b.Term.To]
+			b.Term.Else = remap[b.Term.Else]
+		}
+	}
+	f.Blocks = kept
+	return removed
+}

@@ -1,0 +1,82 @@
+package opt
+
+import (
+	"fmt"
+
+	"bitc/internal/ir"
+)
+
+// cse performs block-local common-subexpression elimination over pure
+// operations. Registers are mutable, so availability is tracked with a
+// per-register version counter: an expression key embeds the versions of its
+// operands, and any redefinition of an operand naturally invalidates the key.
+// A matching later computation is rewritten to a Mov from the earlier result
+// (copy propagation and DCE then clean up). Returns the number of
+// replacements.
+func cse(f *ir.Func) int {
+	replaced := 0
+	for _, blk := range f.Blocks {
+		version := map[ir.Reg]int{}
+		avail := map[string]ir.Reg{} // expression key -> register holding it
+		// holders maps a register to the keys whose VALUE it currently
+		// holds, so redefinition can invalidate them.
+		holders := map[ir.Reg][]string{}
+
+		bump := func(r ir.Reg) {
+			version[r]++
+			for _, k := range holders[r] {
+				delete(avail, k)
+			}
+			delete(holders, r)
+		}
+
+		for idx := range blk.Instrs {
+			in := &blk.Instrs[idx]
+			key, ok := cseKey(in, version)
+			if !ok {
+				if in.Dst != ir.NoReg {
+					bump(in.Dst)
+				}
+				continue
+			}
+			if prev, hit := avail[key]; hit && prev != in.Dst {
+				dst := in.Dst
+				*in = ir.Instr{Op: ir.OpMov, Dst: dst, A: prev, Region: ir.NoReg}
+				replaced++
+				bump(dst)
+				// The destination now also holds the value.
+				avail[key] = prev // keep the original as canonical
+				continue
+			}
+			bump(in.Dst)
+			avail[key] = in.Dst
+			holders[in.Dst] = append(holders[in.Dst], key)
+		}
+	}
+	return replaced
+}
+
+// cseKey builds the availability key for a pure value-producing instruction,
+// or reports false for anything CSE must not touch.
+func cseKey(in *ir.Instr, version map[ir.Reg]int) (string, bool) {
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpBitAnd, ir.OpBitOr, ir.OpBitXor,
+		ir.OpShl, ir.OpShr, ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe,
+		ir.OpNeg, ir.OpBitNot, ir.OpNot, ir.OpCast:
+		// Pure; Div/Mod excluded (trap identity must be preserved per site
+		// is not required — they are deterministic, but keeping them out is
+		// simpler than arguing about it).
+	default:
+		return "", false
+	}
+	if in.Dst == ir.NoReg {
+		return "", false
+	}
+	ty := ""
+	if in.Type != nil {
+		ty = in.Type.String()
+	}
+	return fmt.Sprintf("%d|%d.%d|%d.%d|%d|%v|%v|%s",
+		in.Op, in.A, version[in.A], in.B, version[in.B],
+		in.NumBits, in.Signed, in.Float, ty), true
+}

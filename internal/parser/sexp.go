@@ -1,0 +1,124 @@
+package parser
+
+import (
+	"bitc/internal/lexer"
+	"bitc/internal/source"
+)
+
+// sexp is the generic S-expression layer the parser builds before recognising
+// special forms. Keeping this layer separate makes form recognition plain
+// pattern matching instead of token juggling.
+type sexp struct {
+	span source.Span
+	tok  *lexer.Token // atom payload; nil for lists
+	list []*sexp      // non-nil (possibly empty) for lists
+}
+
+func (s *sexp) isList() bool { return s.tok == nil }
+
+// sym returns the symbol text if s is a symbol atom, else "".
+func (s *sexp) sym() string {
+	if s.tok != nil && s.tok.Kind == lexer.Symbol {
+		return s.tok.Text
+	}
+	return ""
+}
+
+// keyword returns the keyword text (with leading colon) if s is a keyword.
+func (s *sexp) keyword() string {
+	if s.tok != nil && s.tok.Kind == lexer.Keyword {
+		return s.tok.Text
+	}
+	return ""
+}
+
+// head returns the leading symbol of a list, or "".
+func (s *sexp) head() string {
+	if s.isList() && len(s.list) > 0 {
+		return s.list[0].sym()
+	}
+	return ""
+}
+
+// readSexps parses the whole token stream into a slice of top-level sexps.
+func readSexps(toks []lexer.Token, diags *source.Diagnostics) []*sexp {
+	r := &reader{toks: toks, diags: diags}
+	var out []*sexp
+	for r.peek().Kind != lexer.EOF {
+		if s := r.read(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type reader struct {
+	toks  []lexer.Token
+	pos   int
+	diags *source.Diagnostics
+}
+
+func (r *reader) peek() lexer.Token { return r.toks[r.pos] }
+
+func (r *reader) next() lexer.Token {
+	t := r.toks[r.pos]
+	if t.Kind != lexer.EOF {
+		r.pos++
+	}
+	return t
+}
+
+// read parses one S-expression; nil on unrecoverable junk (already reported).
+func (r *reader) read() *sexp {
+	t := r.next()
+	switch t.Kind {
+	case lexer.LParen, lexer.LBracket:
+		closer := lexer.RParen
+		if t.Kind == lexer.LBracket {
+			closer = lexer.RBracket
+		}
+		node := &sexp{span: t.Span, list: []*sexp{}}
+		for {
+			p := r.peek()
+			if p.Kind == closer {
+				r.next()
+				node.span = node.span.Union(p.Span)
+				return node
+			}
+			if p.Kind == lexer.EOF {
+				r.diags.Errorf(t.Span, "unclosed %s", t.Kind)
+				return node
+			}
+			if p.Kind == lexer.RParen || p.Kind == lexer.RBracket {
+				// Mismatched closer: consume and report, keep going.
+				r.next()
+				r.diags.Errorf(p.Span, "mismatched %s", p.Kind)
+				continue
+			}
+			if child := r.read(); child != nil {
+				node.list = append(node.list, child)
+				node.span = node.span.Union(child.span)
+			}
+		}
+	case lexer.RParen, lexer.RBracket:
+		r.diags.Errorf(t.Span, "unexpected %s", t.Kind)
+		return nil
+	case lexer.Quote:
+		inner := r.read()
+		if inner == nil {
+			r.diags.Errorf(t.Span, "quote requires a following expression")
+			return nil
+		}
+		// 'x is only used for type variables; represent as (quote x).
+		q := &lexer.Token{Kind: lexer.Symbol, Text: "quote", Span: t.Span}
+		return &sexp{
+			span: t.Span.Union(inner.span),
+			list: []*sexp{{span: t.Span, tok: q}, inner},
+		}
+	case lexer.EOF:
+		return nil
+	default:
+		tok := t
+		return &sexp{span: t.Span, tok: &tok}
+	}
+}

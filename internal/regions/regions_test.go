@@ -1,0 +1,163 @@
+package regions_test
+
+import (
+	"strings"
+	"testing"
+
+	"bitc/internal/parser"
+	"bitc/internal/regions"
+	"bitc/internal/types"
+)
+
+func check(t *testing.T, src string) []regions.Escape {
+	t.Helper()
+	prog, diags := parser.Parse("t.bitc", src)
+	if diags.HasErrors() {
+		t.Fatalf("parse: %v", diags)
+	}
+	info, cdiags := types.Check(prog)
+	if cdiags.HasErrors() {
+		t.Fatalf("check: %v", cdiags)
+	}
+	return regions.Check(prog, info)
+}
+
+const header = `(defstruct msg (v int64))
+`
+
+func TestCleanUsageNoWarnings(t *testing.T) {
+	esc := check(t, header+`
+	  (define (f) int64
+	    (with-region r
+	      (let ((m (alloc-in r (make msg :v 1))))
+	        (field m v))))`)
+	if len(esc) != 0 {
+		t.Fatalf("unexpected escapes: %v", esc)
+	}
+}
+
+func TestResultEscapeDetected(t *testing.T) {
+	esc := check(t, header+`
+	  (define (leak) msg
+	    (with-region r
+	      (alloc-in r (make msg :v 1))))`)
+	if len(esc) == 0 {
+		t.Fatal("escape not detected")
+	}
+	if !strings.Contains(esc[0].Reason, "result") {
+		t.Errorf("reason = %q", esc[0].Reason)
+	}
+}
+
+func TestLetBoundResultEscape(t *testing.T) {
+	esc := check(t, header+`
+	  (define (leak) msg
+	    (with-region r
+	      (let ((m (alloc-in r (make msg :v 1))))
+	        m)))`)
+	if len(esc) == 0 {
+		t.Fatal("aliased escape not detected")
+	}
+}
+
+func TestScalarResultIsFine(t *testing.T) {
+	// Returning a *scalar* derived from region data is not an escape.
+	esc := check(t, header+`
+	  (define (f) int64
+	    (with-region r
+	      (let ((m (alloc-in r (make msg :v 5))))
+	        (field m v))))`)
+	if len(esc) != 0 {
+		t.Fatalf("false positive: %v", esc)
+	}
+}
+
+func TestAssignmentEscape(t *testing.T) {
+	esc := check(t, header+`
+	  (define (f (keep msg)) unit
+	    (let ((mutable slot keep))
+	      (with-region r
+	        (set! slot (alloc-in r (make msg :v 1))))))`)
+	if len(esc) == 0 {
+		t.Fatal("assignment escape not detected")
+	}
+}
+
+func TestChannelSendEscape(t *testing.T) {
+	esc := check(t, header+`
+	  (define (f (c (chan msg))) unit
+	    (with-region r
+	      (send c (alloc-in r (make msg :v 1)))))`)
+	if len(esc) == 0 {
+		t.Fatal("channel escape not detected")
+	}
+	if !strings.Contains(esc[0].Reason, "channel") {
+		t.Errorf("reason = %q", esc[0].Reason)
+	}
+}
+
+func TestCallRetentionWarned(t *testing.T) {
+	esc := check(t, header+`
+	  (define (stash (m msg)) msg m)
+	  (define (f) unit
+	    (with-region r
+	      (let ((m (alloc-in r (make msg :v 1))))
+	        (stash m)
+	        ())))`)
+	if len(esc) == 0 {
+		t.Fatal("call retention not flagged")
+	}
+}
+
+func TestPureAccessorsNotFlagged(t *testing.T) {
+	esc := check(t, header+`
+	  (define (f) unit
+	    (with-region r
+	      (let ((m (alloc-in r (make msg :v 1))))
+	        (println (field m v)))))`)
+	if len(esc) != 0 {
+		t.Fatalf("false positive on pure accessor: %v", esc)
+	}
+}
+
+func TestNestedRegionsInnerToOuterEscape(t *testing.T) {
+	// Inner-region value escaping into the outer region's lifetime: the
+	// with-region result of the inner region is still flagged because the
+	// value outlives region s.
+	esc := check(t, header+`
+	  (define (f) int64
+	    (with-region r
+	      (let ((m (with-region s (alloc-in s (make msg :v 1)))))
+	        (field m v))))`)
+	if len(esc) == 0 {
+		t.Fatal("inner-region escape not detected")
+	}
+}
+
+func TestSpawnCaptureEscape(t *testing.T) {
+	esc := check(t, header+`
+	  (define (use (m msg)) int64 (field m v))
+	  (define (f) unit
+	    (with-region r
+	      (let ((m (alloc-in r (make msg :v 1))))
+	        (spawn (use m))
+	        ())))`)
+	found := false
+	for _, e := range esc {
+		if strings.Contains(e.Reason, "spawned") || strings.Contains(e.Reason, "retain") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spawn capture not flagged: %v", esc)
+	}
+}
+
+func TestEscapeStringRendering(t *testing.T) {
+	esc := check(t, header+`
+	  (define (leak) msg
+	    (with-region r (alloc-in r (make msg :v 1))))`)
+	if len(esc) == 0 || !strings.Contains(esc[0].String(), "region r") {
+		t.Fatalf("escape string: %v", esc)
+	}
+}

@@ -1,0 +1,215 @@
+// Package source provides source-file handling, positions, spans, and
+// diagnostics shared by every stage of the bitc toolchain.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// File is a named unit of source text. Line offsets are computed lazily so
+// that position rendering is cheap for the common no-error path.
+type File struct {
+	Name string
+	Text string
+
+	lineOffsets []int // byte offset of the start of each line; built on demand
+}
+
+// NewFile wraps name and text in a File.
+func NewFile(name, text string) *File {
+	return &File{Name: name, Text: text}
+}
+
+// Pos is a byte offset into a File. The zero value (0) is a valid position at
+// the start of the file; NoPos marks "no position known".
+type Pos int
+
+// NoPos is the canonical unknown position.
+const NoPos Pos = -1
+
+// IsValid reports whether p refers to an actual location.
+func (p Pos) IsValid() bool { return p >= 0 }
+
+// Span is a half-open byte range [Start, End) within a file.
+type Span struct {
+	Start, End Pos
+}
+
+// MakeSpan builds a span, normalising inverted ranges.
+func MakeSpan(start, end Pos) Span {
+	if end < start {
+		start, end = end, start
+	}
+	return Span{Start: start, End: end}
+}
+
+// Union returns the smallest span covering both s and t. Invalid spans are
+// identity elements.
+func (s Span) Union(t Span) Span {
+	if !s.Start.IsValid() {
+		return t
+	}
+	if !t.Start.IsValid() {
+		return s
+	}
+	u := s
+	if t.Start < u.Start {
+		u.Start = t.Start
+	}
+	if t.End > u.End {
+		u.End = t.End
+	}
+	return u
+}
+
+// IsValid reports whether the span has a known start.
+func (s Span) IsValid() bool { return s.Start.IsValid() }
+
+// buildLineOffsets computes the byte offset of each line start.
+func (f *File) buildLineOffsets() {
+	if f.lineOffsets != nil {
+		return
+	}
+	offs := []int{0}
+	for i := 0; i < len(f.Text); i++ {
+		if f.Text[i] == '\n' {
+			offs = append(offs, i+1)
+		}
+	}
+	f.lineOffsets = offs
+}
+
+// Position resolves a Pos to 1-based line and column numbers.
+func (f *File) Position(p Pos) (line, col int) {
+	if !p.IsValid() {
+		return 0, 0
+	}
+	f.buildLineOffsets()
+	i := sort.Search(len(f.lineOffsets), func(i int) bool {
+		return f.lineOffsets[i] > int(p)
+	}) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i + 1, int(p) - f.lineOffsets[i] + 1
+}
+
+// Describe renders a position as "file:line:col".
+func (f *File) Describe(p Pos) string {
+	line, col := f.Position(p)
+	return fmt.Sprintf("%s:%d:%d", f.Name, line, col)
+}
+
+// Line returns the (1-based) line'th line of text without its newline, or ""
+// if out of range.
+func (f *File) Line(line int) string {
+	f.buildLineOffsets()
+	if line < 1 || line > len(f.lineOffsets) {
+		return ""
+	}
+	start := f.lineOffsets[line-1]
+	end := len(f.Text)
+	if line < len(f.lineOffsets) {
+		end = f.lineOffsets[line] - 1
+	}
+	return f.Text[start:end]
+}
+
+// Severity classifies diagnostics.
+type Severity int
+
+// Severity levels, ordered by increasing gravity.
+const (
+	Note Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Note:
+		return "note"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is a single message attached to a source span.
+type Diagnostic struct {
+	Severity Severity
+	Span     Span
+	Message  string
+}
+
+// Diagnostics accumulates messages for one file and implements error so a
+// non-empty bag can be returned directly from compiler stages.
+type Diagnostics struct {
+	File *File
+	List []Diagnostic
+}
+
+// NewDiagnostics creates an empty bag for file.
+func NewDiagnostics(file *File) *Diagnostics {
+	return &Diagnostics{File: file}
+}
+
+// Add appends a diagnostic.
+func (d *Diagnostics) Add(sev Severity, span Span, format string, args ...any) {
+	d.List = append(d.List, Diagnostic{Severity: sev, Span: span, Message: fmt.Sprintf(format, args...)})
+}
+
+// Errorf appends an error diagnostic.
+func (d *Diagnostics) Errorf(span Span, format string, args ...any) {
+	d.Add(Error, span, format, args...)
+}
+
+// Warnf appends a warning diagnostic.
+func (d *Diagnostics) Warnf(span Span, format string, args ...any) {
+	d.Add(Warning, span, format, args...)
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func (d *Diagnostics) HasErrors() bool {
+	for _, dg := range d.List {
+		if dg.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of diagnostics.
+func (d *Diagnostics) Len() int { return len(d.List) }
+
+// Error renders all diagnostics, one per line, satisfying the error interface.
+func (d *Diagnostics) Error() string {
+	var b strings.Builder
+	for i, dg := range d.List {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		if d.File != nil && dg.Span.IsValid() {
+			b.WriteString(d.File.Describe(dg.Span.Start))
+			b.WriteString(": ")
+		}
+		b.WriteString(dg.Severity.String())
+		b.WriteString(": ")
+		b.WriteString(dg.Message)
+	}
+	return b.String()
+}
+
+// ErrOrNil returns d as an error if it holds any error-severity diagnostics,
+// else nil. This keeps call sites to the usual "if err != nil" shape.
+func (d *Diagnostics) ErrOrNil() error {
+	if d.HasErrors() {
+		return d
+	}
+	return nil
+}

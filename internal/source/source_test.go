@@ -1,0 +1,156 @@
+package source
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPositionBasics(t *testing.T) {
+	f := NewFile("a.bitc", "abc\ndef\n\nghi")
+	cases := []struct {
+		pos       Pos
+		line, col int
+	}{
+		{0, 1, 1},
+		{2, 1, 3},
+		{3, 1, 4}, // the newline itself belongs to line 1
+		{4, 2, 1},
+		{7, 2, 4},
+		{8, 3, 1},
+		{9, 4, 1},
+		{11, 4, 3},
+	}
+	for _, c := range cases {
+		line, col := f.Position(c.pos)
+		if line != c.line || col != c.col {
+			t.Errorf("Position(%d) = %d:%d, want %d:%d", c.pos, line, col, c.line, c.col)
+		}
+	}
+}
+
+func TestPositionInvalid(t *testing.T) {
+	f := NewFile("a", "x")
+	if l, c := f.Position(NoPos); l != 0 || c != 0 {
+		t.Errorf("Position(NoPos) = %d:%d, want 0:0", l, c)
+	}
+}
+
+func TestLine(t *testing.T) {
+	f := NewFile("a", "first\nsecond\nthird")
+	if got := f.Line(2); got != "second" {
+		t.Errorf("Line(2) = %q", got)
+	}
+	if got := f.Line(3); got != "third" {
+		t.Errorf("Line(3) = %q", got)
+	}
+	if got := f.Line(0); got != "" {
+		t.Errorf("Line(0) = %q, want empty", got)
+	}
+	if got := f.Line(4); got != "" {
+		t.Errorf("Line(4) = %q, want empty", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	f := NewFile("m.bitc", "hello\nworld")
+	if got := f.Describe(6); got != "m.bitc:2:1" {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+func TestSpanUnion(t *testing.T) {
+	a := MakeSpan(3, 7)
+	b := MakeSpan(5, 12)
+	u := a.Union(b)
+	if u.Start != 3 || u.End != 12 {
+		t.Errorf("Union = %+v", u)
+	}
+	empty := Span{Start: NoPos, End: NoPos}
+	if got := empty.Union(a); got != a {
+		t.Errorf("empty.Union(a) = %+v", got)
+	}
+	if got := a.Union(empty); got != a {
+		t.Errorf("a.Union(empty) = %+v", got)
+	}
+}
+
+func TestMakeSpanNormalises(t *testing.T) {
+	s := MakeSpan(9, 2)
+	if s.Start != 2 || s.End != 9 {
+		t.Errorf("MakeSpan(9,2) = %+v", s)
+	}
+}
+
+func TestDiagnostics(t *testing.T) {
+	f := NewFile("d.bitc", "line one\nline two")
+	d := NewDiagnostics(f)
+	if d.HasErrors() {
+		t.Fatal("fresh bag has errors")
+	}
+	if d.ErrOrNil() != nil {
+		t.Fatal("fresh bag ErrOrNil non-nil")
+	}
+	d.Warnf(MakeSpan(0, 4), "just a warning")
+	if d.HasErrors() {
+		t.Fatal("warning counted as error")
+	}
+	if d.ErrOrNil() != nil {
+		t.Fatal("warnings alone should not become an error")
+	}
+	d.Errorf(MakeSpan(9, 13), "bad %s", "thing")
+	if !d.HasErrors() {
+		t.Fatal("error not recorded")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	msg := d.Error()
+	if !strings.Contains(msg, "d.bitc:2:1: error: bad thing") {
+		t.Errorf("Error() = %q", msg)
+	}
+	if !strings.Contains(msg, "warning: just a warning") {
+		t.Errorf("Error() missing warning: %q", msg)
+	}
+	if d.ErrOrNil() == nil {
+		t.Fatal("ErrOrNil should return the bag")
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Note.String() != "note" || Warning.String() != "warning" || Error.String() != "error" {
+		t.Error("severity strings wrong")
+	}
+	if s := Severity(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown severity = %q", s)
+	}
+}
+
+// Property: for any text and any valid offset, Position is consistent with
+// counting newlines directly.
+func TestPositionMatchesNaiveScan(t *testing.T) {
+	check := func(raw []byte, off uint16) bool {
+		text := string(raw)
+		f := NewFile("p", text)
+		pos := int(off)
+		if len(text) == 0 {
+			pos = 0
+		} else {
+			pos %= len(text)
+		}
+		line, col := f.Position(Pos(pos))
+		wantLine, wantCol := 1, 1
+		for i := 0; i < pos; i++ {
+			if text[i] == '\n' {
+				wantLine++
+				wantCol = 1
+			} else {
+				wantCol++
+			}
+		}
+		return line == wantLine && col == wantCol
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

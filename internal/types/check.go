@@ -1,0 +1,980 @@
+package types
+
+import (
+	"bitc/internal/ast"
+	"bitc/internal/source"
+)
+
+// CtorUse resolves a constructor name to its union and arm.
+type CtorUse struct {
+	Union *UnionInfo
+	Arm   *ArmInfo
+}
+
+// Info is the result of type checking: every expression's type plus the
+// resolution tables later stages (compiler, verifier, region checker) need.
+type Info struct {
+	Types    map[ast.Expr]*Type
+	Uses     map[*ast.VarRef]*Symbol
+	Structs  map[string]*StructInfo
+	Unions   map[string]*UnionInfo
+	CtorOf   map[string]*CtorUse
+	PatCtors map[*ast.PatCtor]*CtorUse
+	Funcs    map[string]*Scheme
+	Globals  map[string]*Type
+
+	// FuncDecls preserves definition order for code generation.
+	FuncDecls   []*ast.DefineFunc
+	GlobalDecls []*ast.DefineVar
+	Externals   []*ast.External
+}
+
+// TypeOf returns the (pruned, defaulted) type recorded for e, or Unit if the
+// expression was never checked (which only happens after errors).
+func (in *Info) TypeOf(e ast.Expr) *Type {
+	if t, ok := in.Types[e]; ok {
+		return Prune(t)
+	}
+	return Unit
+}
+
+// Check type-checks a parsed program. It always returns a non-nil Info;
+// consult diags for errors.
+func Check(prog *ast.Program) (*Info, *source.Diagnostics) {
+	diags := source.NewDiagnostics(prog.File)
+	c := &checker{
+		u:     &unifier{},
+		diags: diags,
+		info: &Info{
+			Types:    map[ast.Expr]*Type{},
+			Uses:     map[*ast.VarRef]*Symbol{},
+			Structs:  map[string]*StructInfo{},
+			Unions:   map[string]*UnionInfo{},
+			CtorOf:   map[string]*CtorUse{},
+			PatCtors: map[*ast.PatCtor]*CtorUse{},
+			Funcs:    map[string]*Scheme{},
+			Globals:  map[string]*Type{},
+		},
+		builtins: builtinSchemes(),
+	}
+	c.global = newEnv(nil)
+	c.run(prog)
+	return c.info, diags
+}
+
+type checker struct {
+	u        *unifier
+	diags    *source.Diagnostics
+	info     *Info
+	builtins map[string]*Scheme
+	global   *env
+	level    int
+
+	curFn *funcCtx // function being checked, for %result and returns
+}
+
+type funcCtx struct {
+	ret *Type
+}
+
+func (c *checker) errf(span source.Span, format string, args ...any) {
+	c.diags.Errorf(span, format, args...)
+}
+
+func (c *checker) fresh() *Type { return c.u.fresh(c.level, CNone) }
+
+func (c *checker) record(e ast.Expr, t *Type) *Type {
+	c.info.Types[e] = t
+	return t
+}
+
+// run drives the multi-pass checking: declarations, signatures, bodies,
+// then defaulting of leftover type variables.
+func (c *checker) run(prog *ast.Program) {
+	// Pass 1: collect type declarations (structs, unions) so types can be
+	// resolved in any order.
+	for _, d := range prog.Defs {
+		switch d := d.(type) {
+		case *ast.DefStruct:
+			if c.declared(d.Name, d.Span()) {
+				continue
+			}
+			c.info.Structs[d.Name] = &StructInfo{
+				Name: d.Name, Packed: d.Packed, Boxed: d.Boxed, Align: d.Align,
+			}
+		case *ast.DefUnion:
+			if c.declared(d.Name, d.Span()) {
+				continue
+			}
+			c.info.Unions[d.Name] = &UnionInfo{Name: d.Name}
+		}
+	}
+	// Pass 2: resolve field types.
+	for _, d := range prog.Defs {
+		switch d := d.(type) {
+		case *ast.DefStruct:
+			si := c.info.Structs[d.Name]
+			for _, f := range d.Fields {
+				if si.FieldIndex(f.Name) >= 0 {
+					c.errf(f.Span(), "duplicate field %s in struct %s", f.Name, d.Name)
+					continue
+				}
+				ft, bits := c.resolveFieldType(f.Type)
+				si.Fields = append(si.Fields, FieldInfo{Name: f.Name, Type: ft, Bits: bits})
+			}
+		case *ast.DefUnion:
+			ui := c.info.Unions[d.Name]
+			for i, a := range d.Arms {
+				if ui.Arm(a.Name) != nil {
+					c.errf(a.Span(), "duplicate constructor %s in union %s", a.Name, d.Name)
+					continue
+				}
+				arm := &ArmInfo{Name: a.Name, Tag: i}
+				for _, f := range a.Fields {
+					ft, bits := c.resolveFieldType(f.Type)
+					if bits != 0 {
+						c.errf(f.Span(), "bitfields are only allowed in structs")
+					}
+					arm.Fields = append(arm.Fields, FieldInfo{Name: f.Name, Type: ft})
+				}
+				ui.Arms = append(ui.Arms, arm)
+				if prev, dup := c.info.CtorOf[a.Name]; dup {
+					c.errf(a.Span(), "constructor %s already defined in union %s", a.Name, prev.Union.Name)
+				} else {
+					c.info.CtorOf[a.Name] = &CtorUse{Union: ui, Arm: arm}
+				}
+			}
+		}
+	}
+	c.checkStructCycles(prog)
+
+	// Pass 3: function and external signatures, then globals, then bodies.
+	for _, d := range prog.Defs {
+		switch d := d.(type) {
+		case *ast.DefineFunc:
+			if c.declared(d.Name, d.Span()) {
+				continue
+			}
+			c.info.FuncDecls = append(c.info.FuncDecls, d)
+			// Signature variables live at level 1 so that generalising at
+			// level 0 (after the body is checked) quantifies them.
+			c.level = 1
+			sig := c.funcSignature(d.Params, d.RetType)
+			c.level = 0
+			c.global.bind(&Symbol{Name: d.Name, Kind: SymFunc, Scheme: Mono(sig)})
+		case *ast.External:
+			if c.declared(d.Name, d.Span()) {
+				continue
+			}
+			c.info.Externals = append(c.info.Externals, d)
+			t := c.resolveType(d.Type, map[string]*Type{})
+			if Prune(t).Kind != KFn {
+				c.errf(d.Span(), "external %s must have a function type", d.Name)
+			}
+			c.global.bind(&Symbol{Name: d.Name, Kind: SymExternal, Scheme: Mono(t)})
+			c.info.Funcs[d.Name] = Mono(t)
+		case *ast.DefineVar:
+			// handled below in order
+		}
+	}
+	for _, d := range prog.Defs {
+		if d, ok := d.(*ast.DefineVar); ok {
+			if c.declared(d.Name, d.Span()) {
+				continue
+			}
+			c.info.GlobalDecls = append(c.info.GlobalDecls, d)
+			t := c.checkExpr(d.Init, c.global)
+			if d.Type != nil {
+				want := c.resolveType(d.Type, map[string]*Type{})
+				if err := c.u.Unify(t, want); err != nil {
+					c.errf(d.Span(), "global %s: %v", d.Name, err)
+				}
+				t = want
+			}
+			c.global.bind(&Symbol{Name: d.Name, Kind: SymGlobal, Scheme: Mono(t)})
+			c.info.Globals[d.Name] = t
+		}
+	}
+	for _, d := range prog.Defs {
+		if d, ok := d.(*ast.DefineFunc); ok {
+			c.checkFuncBody(d)
+			// Generalise immediately so later definitions can use this
+			// function polymorphically. Within its own body (and in any
+			// earlier definitions) it is monomorphic, which is the usual
+			// HM treatment of recursion.
+			if sym := c.global.lookup(d.Name); sym != nil && sym.Kind == SymFunc {
+				sym.Scheme = generalize(sym.Scheme.Type, 0)
+				c.info.Funcs[d.Name] = sym.Scheme
+			}
+		}
+	}
+
+	// Purity checking: a :pure function may keep local state but must be
+	// free of observable effects (heap writes, I/O, communication,
+	// synchronisation) and may only call :pure functions and effect-free
+	// builtins. The verifier leans on this: pure calls are safe to reason
+	// about equationally.
+	for _, d := range c.info.FuncDecls {
+		if d.Pure {
+			c.checkPurity(d)
+		}
+	}
+
+	// Pass 4: default leftover variables so the compiler sees concrete types
+	// everywhere — except variables a scheme quantifies, which must stay
+	// polymorphic.
+	keep := map[int]bool{}
+	for _, s := range c.info.Funcs {
+		for _, v := range s.Vars {
+			keep[v.ID] = true
+		}
+	}
+	for e, t := range c.info.Types {
+		c.info.Types[e] = defaultTypeExcept(t, keep)
+	}
+	for n, t := range c.info.Globals {
+		c.info.Globals[n] = defaultTypeExcept(t, keep)
+	}
+	for _, s := range c.info.Funcs {
+		defaultTypeExcept(s.Type, keep)
+	}
+}
+
+func (c *checker) declared(name string, span source.Span) bool {
+	if c.global.lookup(name) != nil || c.info.Structs[name] != nil || c.info.Unions[name] != nil {
+		c.errf(span, "%s is already defined", name)
+		return true
+	}
+	if _, isBuiltin := c.builtins[name]; isBuiltin {
+		c.errf(span, "%s shadows a builtin operation", name)
+		return true
+	}
+	return false
+}
+
+// checkStructCycles rejects structs that contain themselves by value.
+func (c *checker) checkStructCycles(prog *ast.Program) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := map[*StructInfo]int{}
+	var visit func(s *StructInfo) bool // true if a cycle runs through s
+	visit = func(s *StructInfo) bool {
+		switch state[s] {
+		case grey:
+			return true
+		case black:
+			return false
+		}
+		state[s] = grey
+		cyclic := false
+		for _, f := range s.Fields {
+			ft := Prune(f.Type)
+			if ft.Kind == KStruct && visit(ft.SDecl) {
+				cyclic = true
+			}
+			if ft.Kind == KArray {
+				if el := Prune(ft.Elem); el.Kind == KStruct && visit(el.SDecl) {
+					cyclic = true
+				}
+			}
+		}
+		state[s] = black
+		return cyclic
+	}
+	for _, d := range prog.Defs {
+		if sd, ok := d.(*ast.DefStruct); ok {
+			si := c.info.Structs[sd.Name]
+			if si != nil && state[si] == white && visit(si) {
+				c.errf(sd.Span(), "struct %s contains itself by value (use a union or vector for recursion)", sd.Name)
+			}
+		}
+	}
+}
+
+// resolveFieldType resolves a field's type, splitting off a bitfield width.
+func (c *checker) resolveFieldType(te ast.TypeExpr) (*Type, int) {
+	if bf, ok := te.(*ast.TypeBitfield); ok {
+		base := c.resolveType(bf.Base, map[string]*Type{})
+		pb := Prune(base)
+		if pb.Kind != KInt {
+			c.errf(te.Span(), "bitfield base must be an integer type, got %s", base)
+			return Uint32, 0
+		}
+		if bf.Bits < 1 || bf.Bits > pb.Bits {
+			c.errf(te.Span(), "bitfield width %d out of range 1..%d", bf.Bits, pb.Bits)
+			return base, 0
+		}
+		return base, bf.Bits
+	}
+	return c.resolveType(te, map[string]*Type{}), 0
+}
+
+// resolveType converts a surface type expression to an internal type.
+// vars maps 'a-style names to their variables within one signature.
+func (c *checker) resolveType(te ast.TypeExpr, vars map[string]*Type) *Type {
+	switch te := te.(type) {
+	case *ast.TypeName:
+		if te.Var {
+			v, ok := vars[te.Name]
+			if !ok {
+				v = c.fresh()
+				vars[te.Name] = v
+			}
+			return v
+		}
+		switch te.Name {
+		case "unit":
+			return Unit
+		case "bool":
+			return Bool
+		case "char":
+			return Char
+		case "string":
+			return String
+		case "int8":
+			return Int8
+		case "int16":
+			return Int16
+		case "int32":
+			return Int32
+		case "int64":
+			return Int64
+		case "uint8":
+			return Uint8
+		case "uint16":
+			return Uint16
+		case "uint32":
+			return Uint32
+		case "uint64":
+			return Uint64
+		case "word":
+			return Word
+		case "float64":
+			return Float64
+		}
+		if s, ok := c.info.Structs[te.Name]; ok {
+			return Struct(s)
+		}
+		if u, ok := c.info.Unions[te.Name]; ok {
+			return Union(u)
+		}
+		c.errf(te.Span(), "unknown type %s", te.Name)
+		return c.fresh()
+	case *ast.TypeApp:
+		switch te.Ctor {
+		case "vector":
+			if len(te.Args) != 1 {
+				c.errf(te.Span(), "vector takes one type argument")
+				return Vector(c.fresh())
+			}
+			return Vector(c.resolveType(te.Args[0], vars))
+		case "array":
+			if len(te.Args) != 1 || te.Size <= 0 {
+				c.errf(te.Span(), "array needs an element type and a positive length")
+				return Array(c.fresh(), 1)
+			}
+			return Array(c.resolveType(te.Args[0], vars), te.Size)
+		case "chan":
+			if len(te.Args) != 1 {
+				c.errf(te.Span(), "chan takes one type argument")
+				return Chan(c.fresh())
+			}
+			return Chan(c.resolveType(te.Args[0], vars))
+		default:
+			c.errf(te.Span(), "unknown type constructor %s", te.Ctor)
+			return c.fresh()
+		}
+	case *ast.TypeFn:
+		params := make([]*Type, len(te.Params))
+		for i, p := range te.Params {
+			params[i] = c.resolveType(p, vars)
+		}
+		return Fn(params, c.resolveType(te.Result, vars))
+	case *ast.TypeBitfield:
+		c.errf(te.Span(), "bitfield types are only allowed as struct fields")
+		return c.resolveType(te.Base, vars)
+	default:
+		c.errf(te.Span(), "malformed type")
+		return c.fresh()
+	}
+}
+
+// funcSignature builds the (monomorphic within this unit) signature type.
+func (c *checker) funcSignature(params []*ast.Param, ret ast.TypeExpr) *Type {
+	vars := map[string]*Type{}
+	pts := make([]*Type, len(params))
+	for i, p := range params {
+		if p.Type != nil {
+			pts[i] = c.resolveType(p.Type, vars)
+		} else {
+			pts[i] = c.fresh()
+		}
+	}
+	var rt *Type
+	if ret != nil {
+		rt = c.resolveType(ret, vars)
+	} else {
+		rt = c.fresh()
+	}
+	return Fn(pts, rt)
+}
+
+func (c *checker) checkFuncBody(d *ast.DefineFunc) {
+	sym := c.global.lookup(d.Name)
+	if sym == nil {
+		return
+	}
+	sig := Prune(sym.Scheme.Type)
+	if sig.Kind != KFn || len(sig.Params) != len(d.Params) {
+		return // a signature error was already reported
+	}
+	scope := newEnv(c.global)
+	for i, p := range d.Params {
+		scope.bind(&Symbol{Name: p.Name, Kind: SymParam, Scheme: Mono(sig.Params[i])})
+	}
+	prevFn := c.curFn
+	c.curFn = &funcCtx{ret: sig.Result}
+	// The whole body checks at level 1 (matching the signature variables) so
+	// that generalising at level 0 afterwards quantifies exactly the
+	// variables this function introduced.
+	prevLevel := c.level
+	c.level = 1
+	defer func() { c.curFn = prevFn; c.level = prevLevel }()
+
+	for _, r := range d.Contract.Requires {
+		t := c.checkExpr(r, scope)
+		if err := c.u.Unify(t, Bool); err != nil {
+			c.errf(r.Span(), ":requires must be boolean: %v", err)
+		}
+	}
+
+	bodyT := c.checkBody(d.Body, scope)
+	if err := c.u.Unify(bodyT, sig.Result); err != nil {
+		c.errf(d.Span(), "function %s: body has type %s but is declared %s",
+			d.Name, Prune(bodyT), Prune(sig.Result))
+	}
+
+	if len(d.Contract.Ensures) > 0 {
+		post := newEnv(scope)
+		post.bind(&Symbol{Name: "%result", Kind: SymParam, Scheme: Mono(sig.Result)})
+		for _, e := range d.Contract.Ensures {
+			t := c.checkExpr(e, post)
+			if err := c.u.Unify(t, Bool); err != nil {
+				c.errf(e.Span(), ":ensures must be boolean: %v", err)
+			}
+		}
+	}
+}
+
+func (c *checker) checkBody(body []ast.Expr, scope *env) *Type {
+	t := Unit
+	for _, e := range body {
+		t = c.checkExpr(e, scope)
+	}
+	return t
+}
+
+// checkExpr infers the type of e, recording it in Info.
+func (c *checker) checkExpr(e ast.Expr, scope *env) *Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return c.record(e, c.u.fresh(c.level, CIntegral))
+	case *ast.FloatLit:
+		return c.record(e, Float64)
+	case *ast.BoolLit:
+		return c.record(e, Bool)
+	case *ast.CharLit:
+		return c.record(e, Char)
+	case *ast.StringLit:
+		return c.record(e, String)
+	case *ast.UnitLit:
+		return c.record(e, Unit)
+	case *ast.VarRef:
+		return c.record(e, c.checkVarRef(e, scope))
+	case *ast.Call:
+		return c.record(e, c.checkCall(e, scope))
+	case *ast.If:
+		condT := c.checkExpr(e.Cond, scope)
+		if err := c.u.Unify(condT, Bool); err != nil {
+			c.errf(e.Cond.Span(), "if condition must be bool, got %s", Prune(condT))
+		}
+		thenT := c.checkExpr(e.Then, scope)
+		if e.Else == nil {
+			if err := c.u.Unify(thenT, Unit); err != nil {
+				c.errf(e.Then.Span(), "one-armed if must have unit type, got %s", Prune(thenT))
+			}
+			return c.record(e, Unit)
+		}
+		elseT := c.checkExpr(e.Else, scope)
+		if err := c.u.Unify(thenT, elseT); err != nil {
+			c.errf(e.Span(), "if branches disagree: %s vs %s", Prune(thenT), Prune(elseT))
+		}
+		return c.record(e, thenT)
+	case *ast.Let:
+		return c.record(e, c.checkLet(e, scope))
+	case *ast.Lambda:
+		return c.record(e, c.checkLambda(e, scope))
+	case *ast.Begin:
+		return c.record(e, c.checkBody(e.Body, newEnv(scope)))
+	case *ast.Set:
+		sym := scope.lookup(e.Name)
+		switch {
+		case sym == nil:
+			c.errf(e.Span(), "set!: %s is not defined", e.Name)
+		case sym.Kind != SymLocal || !sym.Mutable:
+			c.errf(e.Span(), "set!: %s is not a mutable binding (declare it with (mutable %s ...))", e.Name, e.Name)
+		default:
+			vt := c.checkExpr(e.Value, scope)
+			if err := c.u.Unify(vt, sym.Scheme.Type); err != nil {
+				c.errf(e.Span(), "set! %s: %v", e.Name, err)
+			}
+			return c.record(e, Unit)
+		}
+		c.checkExpr(e.Value, scope)
+		return c.record(e, Unit)
+	case *ast.While:
+		condT := c.checkExpr(e.Cond, scope)
+		if err := c.u.Unify(condT, Bool); err != nil {
+			c.errf(e.Cond.Span(), "while condition must be bool, got %s", Prune(condT))
+		}
+		for _, inv := range e.Invariants {
+			invT := c.checkExpr(inv, scope)
+			if err := c.u.Unify(invT, Bool); err != nil {
+				c.errf(inv.Span(), ":invariant must be boolean, got %s", Prune(invT))
+			}
+		}
+		c.checkBody(e.Body, newEnv(scope))
+		return c.record(e, Unit)
+	case *ast.DoTimes:
+		countT := c.checkExpr(e.Count, scope)
+		iv := c.u.fresh(c.level, CIntegral)
+		if err := c.u.Unify(countT, iv); err != nil {
+			c.errf(e.Count.Span(), "dotimes count must be an integer, got %s", Prune(countT))
+		}
+		inner := newEnv(scope)
+		inner.bind(&Symbol{Name: e.Var, Kind: SymLocal, Scheme: Mono(iv)})
+		c.checkBody(e.Body, inner)
+		return c.record(e, Unit)
+	case *ast.MakeStruct:
+		return c.record(e, c.checkMakeStruct(e, scope))
+	case *ast.FieldRef:
+		return c.record(e, c.checkFieldRef(e, scope))
+	case *ast.FieldSet:
+		return c.record(e, c.checkFieldSet(e, scope))
+	case *ast.MakeUnion:
+		return c.record(e, c.checkMakeUnion(e, scope))
+	case *ast.Case:
+		return c.record(e, c.checkCase(e, scope))
+	case *ast.Assert:
+		condT := c.checkExpr(e.Cond, scope)
+		if err := c.u.Unify(condT, Bool); err != nil {
+			c.errf(e.Cond.Span(), "assert condition must be bool, got %s", Prune(condT))
+		}
+		return c.record(e, Unit)
+	case *ast.Cast:
+		return c.record(e, c.checkCast(e, scope))
+	case *ast.WithRegion:
+		inner := newEnv(scope)
+		inner.bind(&Symbol{Name: e.Name, Kind: SymRegion, Scheme: Mono(Unit)})
+		return c.record(e, c.checkBody(e.Body, inner))
+	case *ast.AllocIn:
+		sym := scope.lookup(e.Region)
+		if sym == nil || sym.Kind != SymRegion {
+			c.errf(e.Span(), "alloc-in: %s is not a region in scope", e.Region)
+		}
+		if !isAllocExpr(e.Expr) {
+			c.errf(e.Expr.Span(), "alloc-in requires an allocating expression (make, constructor, make-vector, vector)")
+		}
+		return c.record(e, c.checkExpr(e.Expr, scope))
+	case *ast.Atomic:
+		return c.record(e, c.checkBody(e.Body, newEnv(scope)))
+	case *ast.Spawn:
+		c.checkExpr(e.Expr, scope)
+		return c.record(e, Int64)
+	case *ast.WithLock:
+		return c.record(e, c.checkBody(e.Body, newEnv(scope)))
+	default:
+		c.errf(e.Span(), "internal: unhandled expression %T", e)
+		return c.record(e, c.fresh())
+	}
+}
+
+// isAllocExpr reports whether e is a form alloc-in can place in a region.
+func isAllocExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.MakeStruct, *ast.MakeUnion:
+		return true
+	case *ast.Call:
+		if v, ok := e.Fn.(*ast.VarRef); ok {
+			switch v.Name {
+			case "make-vector", "vector", "make-chan":
+				return true
+			}
+			// A constructor call also allocates; resolved later, accept any
+			// capitalised head as plausible and let the checker confirm.
+			return len(v.Name) > 0 && v.Name[0] >= 'A' && v.Name[0] <= 'Z'
+		}
+	}
+	return false
+}
+
+func (c *checker) checkVarRef(e *ast.VarRef, scope *env) *Type {
+	if sym := scope.lookup(e.Name); sym != nil {
+		if sym.Kind == SymRegion {
+			c.errf(e.Span(), "region %s cannot be used as a value", e.Name)
+			return c.fresh()
+		}
+		c.info.Uses[e] = sym
+		return c.u.Instantiate(sym.Scheme, c.level)
+	}
+	if cu, ok := c.info.CtorOf[e.Name]; ok {
+		c.info.Uses[e] = &Symbol{Name: e.Name, Kind: SymCtor, Scheme: Mono(Union(cu.Union))}
+		if len(cu.Arm.Fields) != 0 {
+			c.errf(e.Span(), "constructor %s takes %d arguments; apply it", e.Name, len(cu.Arm.Fields))
+		}
+		return Union(cu.Union)
+	}
+	if s, ok := c.builtins[e.Name]; ok {
+		c.info.Uses[e] = &Symbol{Name: e.Name, Kind: SymBuiltin, Scheme: s}
+		return c.u.Instantiate(s, c.level)
+	}
+	c.errf(e.Span(), "%s is not defined", e.Name)
+	return c.fresh()
+}
+
+func (c *checker) checkCall(e *ast.Call, scope *env) *Type {
+	// Special variadic forms, unless locally shadowed.
+	if v, ok := e.Fn.(*ast.VarRef); ok && scope.lookup(v.Name) == nil {
+		switch v.Name {
+		case "and", "or":
+			if len(e.Args) < 2 {
+				c.errf(e.Span(), "%s needs at least two arguments", v.Name)
+			}
+			for _, a := range e.Args {
+				at := c.checkExpr(a, scope)
+				if err := c.u.Unify(at, Bool); err != nil {
+					c.errf(a.Span(), "%s operand must be bool, got %s", v.Name, Prune(at))
+				}
+			}
+			return Bool
+		case "vector":
+			elem := c.fresh()
+			for _, a := range e.Args {
+				at := c.checkExpr(a, scope)
+				if err := c.u.Unify(at, elem); err != nil {
+					c.errf(a.Span(), "vector elements must share a type: %v", err)
+				}
+			}
+			return Vector(elem)
+		}
+		// Constructor application.
+		if cu, ok := c.info.CtorOf[v.Name]; ok {
+			c.info.Uses[v] = &Symbol{Name: v.Name, Kind: SymCtor, Scheme: Mono(Union(cu.Union))}
+			if len(e.Args) != len(cu.Arm.Fields) {
+				c.errf(e.Span(), "constructor %s takes %d arguments, got %d",
+					v.Name, len(cu.Arm.Fields), len(e.Args))
+			}
+			for i, a := range e.Args {
+				at := c.checkExpr(a, scope)
+				if i < len(cu.Arm.Fields) {
+					if err := c.u.Unify(at, cu.Arm.Fields[i].Type); err != nil {
+						c.errf(a.Span(), "constructor %s field %s: %v", v.Name, cu.Arm.Fields[i].Name, err)
+					}
+				}
+			}
+			return Union(cu.Union)
+		}
+	}
+	fnT := c.checkExpr(e.Fn, scope)
+	args := make([]*Type, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = c.checkExpr(a, scope)
+	}
+	result := c.fresh()
+	if err := c.u.Unify(fnT, Fn(args, result)); err != nil {
+		c.errf(e.Span(), "cannot call: %v", err)
+	}
+	return result
+}
+
+func (c *checker) checkLet(e *ast.Let, scope *env) *Type {
+	inner := newEnv(scope)
+	switch e.Kind {
+	case ast.LetRec:
+		// Bind all names first with fresh types, then check initialisers.
+		syms := make([]*Symbol, len(e.Bindings))
+		for i, b := range e.Bindings {
+			t := c.bindingDeclaredType(b)
+			syms[i] = &Symbol{Name: b.Name, Kind: SymLocal, Scheme: Mono(t), Mutable: b.Mutable}
+			inner.bind(syms[i])
+		}
+		for i, b := range e.Bindings {
+			it := c.checkExpr(b.Init, inner)
+			if err := c.u.Unify(it, syms[i].Scheme.Type); err != nil {
+				c.errf(b.Span(), "letrec %s: %v", b.Name, err)
+			}
+		}
+	case ast.LetSeq:
+		cur := inner
+		for _, b := range e.Bindings {
+			cur = newEnv(cur)
+			c.checkBinding(b, cur, cur)
+			inner = cur
+		}
+	default: // LetPlain: initialisers see only the outer scope
+		for _, b := range e.Bindings {
+			c.checkBinding(b, scope, inner)
+		}
+	}
+	return c.checkBody(e.Body, inner)
+}
+
+func (c *checker) bindingDeclaredType(b *ast.Binding) *Type {
+	if b.Type != nil {
+		return c.resolveType(b.Type, map[string]*Type{})
+	}
+	return c.fresh()
+}
+
+// checkBinding checks one binding: init in initScope, name bound in bindScope.
+func (c *checker) checkBinding(b *ast.Binding, initScope, bindScope *env) {
+	c.level++
+	it := c.checkExpr(b.Init, initScope)
+	c.level--
+	if b.Type != nil {
+		want := c.resolveType(b.Type, map[string]*Type{})
+		if err := c.u.Unify(it, want); err != nil {
+			c.errf(b.Span(), "binding %s: %v", b.Name, err)
+		}
+		it = want
+	}
+	sch := Mono(it)
+	// Value restriction: only generalise immutable lambda bindings.
+	if _, isLam := b.Init.(*ast.Lambda); isLam && !b.Mutable {
+		sch = generalize(it, c.level)
+	}
+	bindScope.bind(&Symbol{Name: b.Name, Kind: SymLocal, Scheme: sch, Mutable: b.Mutable})
+}
+
+func (c *checker) checkLambda(e *ast.Lambda, scope *env) *Type {
+	vars := map[string]*Type{}
+	inner := newEnv(scope)
+	pts := make([]*Type, len(e.Params))
+	for i, p := range e.Params {
+		if p.Type != nil {
+			pts[i] = c.resolveType(p.Type, vars)
+		} else {
+			pts[i] = c.fresh()
+		}
+		inner.bind(&Symbol{Name: p.Name, Kind: SymParam, Scheme: Mono(pts[i])})
+	}
+	bodyT := c.checkBody(e.Body, inner)
+	if e.RetType != nil {
+		want := c.resolveType(e.RetType, vars)
+		if err := c.u.Unify(bodyT, want); err != nil {
+			c.errf(e.Span(), "lambda body: %v", err)
+		}
+		bodyT = want
+	}
+	return Fn(pts, bodyT)
+}
+
+func (c *checker) checkMakeStruct(e *ast.MakeStruct, scope *env) *Type {
+	si, ok := c.info.Structs[e.Name]
+	if !ok {
+		c.errf(e.Span(), "unknown struct %s", e.Name)
+		for _, f := range e.Fields {
+			c.checkExpr(f.Value, scope)
+		}
+		return c.fresh()
+	}
+	seen := map[string]bool{}
+	for _, f := range e.Fields {
+		idx := si.FieldIndex(f.Name)
+		vt := c.checkExpr(f.Value, scope)
+		if idx < 0 {
+			c.errf(f.Value.Span(), "struct %s has no field %s", e.Name, f.Name)
+			continue
+		}
+		if seen[f.Name] {
+			c.errf(f.Value.Span(), "field %s initialised twice", f.Name)
+			continue
+		}
+		seen[f.Name] = true
+		if err := c.u.Unify(vt, si.Fields[idx].Type); err != nil {
+			c.errf(f.Value.Span(), "field %s: %v", f.Name, err)
+		}
+	}
+	for _, f := range si.Fields {
+		if !seen[f.Name] {
+			c.errf(e.Span(), "struct %s: field %s not initialised", e.Name, f.Name)
+		}
+	}
+	return Struct(si)
+}
+
+func (c *checker) structOf(e ast.Expr, scope *env, what string) *StructInfo {
+	t := Prune(c.checkExpr(e, scope))
+	if t.Kind != KStruct {
+		if t.Kind == KVar {
+			c.errf(e.Span(), "%s: cannot infer the struct type here; add an annotation", what)
+		} else {
+			c.errf(e.Span(), "%s: expected a struct, got %s", what, t)
+		}
+		return nil
+	}
+	return t.SDecl
+}
+
+func (c *checker) checkFieldRef(e *ast.FieldRef, scope *env) *Type {
+	si := c.structOf(e.Expr, scope, "field")
+	if si == nil {
+		return c.fresh()
+	}
+	idx := si.FieldIndex(e.Name)
+	if idx < 0 {
+		c.errf(e.Span(), "struct %s has no field %s", si.Name, e.Name)
+		return c.fresh()
+	}
+	return si.Fields[idx].Type
+}
+
+func (c *checker) checkFieldSet(e *ast.FieldSet, scope *env) *Type {
+	si := c.structOf(e.Expr, scope, "set-field!")
+	vt := c.checkExpr(e.Value, scope)
+	if si == nil {
+		return Unit
+	}
+	idx := si.FieldIndex(e.Name)
+	if idx < 0 {
+		c.errf(e.Span(), "struct %s has no field %s", si.Name, e.Name)
+		return Unit
+	}
+	if err := c.u.Unify(vt, si.Fields[idx].Type); err != nil {
+		c.errf(e.Value.Span(), "set-field! %s: %v", e.Name, err)
+	}
+	return Unit
+}
+
+func (c *checker) checkMakeUnion(e *ast.MakeUnion, scope *env) *Type {
+	cu, ok := c.info.CtorOf[e.Ctor]
+	if !ok {
+		c.errf(e.Span(), "unknown constructor %s", e.Ctor)
+		for _, a := range e.Args {
+			c.checkExpr(a, scope)
+		}
+		return c.fresh()
+	}
+	if len(e.Args) != len(cu.Arm.Fields) {
+		c.errf(e.Span(), "constructor %s takes %d arguments, got %d", e.Ctor, len(cu.Arm.Fields), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a, scope)
+		if i < len(cu.Arm.Fields) {
+			if err := c.u.Unify(at, cu.Arm.Fields[i].Type); err != nil {
+				c.errf(a.Span(), "constructor %s field %s: %v", e.Ctor, cu.Arm.Fields[i].Name, err)
+			}
+		}
+	}
+	return Union(cu.Union)
+}
+
+func (c *checker) checkCase(e *ast.Case, scope *env) *Type {
+	scrutT := c.checkExpr(e.Scrut, scope)
+	resultT := c.fresh()
+	covered := map[string]bool{}
+	hasDefault := false
+	for _, cl := range e.Clauses {
+		inner := newEnv(scope)
+		c.checkPattern(cl.Pattern, scrutT, inner, covered, &hasDefault)
+		bt := c.checkBody(cl.Body, inner)
+		if err := c.u.Unify(bt, resultT); err != nil {
+			c.errf(cl.Span(), "case arms disagree: %v", err)
+		}
+	}
+	// Exhaustiveness.
+	st := Prune(scrutT)
+	if st.Kind == KUnion && !hasDefault {
+		var missing []string
+		for _, a := range st.UDecl.Arms {
+			if !covered[a.Name] {
+				missing = append(missing, a.Name)
+			}
+		}
+		if len(missing) > 0 {
+			c.errf(e.Span(), "case is not exhaustive: missing %v", missing)
+		}
+	} else if st.Kind != KUnion && !hasDefault {
+		c.diags.Warnf(e.Span(), "case over %s should end with a default (_ ...) clause", st)
+	}
+	return resultT
+}
+
+func (c *checker) checkPattern(p ast.Pattern, scrutT *Type, scope *env, covered map[string]bool, hasDefault *bool) {
+	switch p := p.(type) {
+	case *ast.PatWildcard:
+		*hasDefault = true
+	case *ast.PatVar:
+		*hasDefault = true
+		scope.bind(&Symbol{Name: p.Name, Kind: SymLocal, Scheme: Mono(scrutT)})
+	case *ast.PatLit:
+		lt := c.checkExpr(p.Lit, scope)
+		if err := c.u.Unify(lt, scrutT); err != nil {
+			c.errf(p.Span(), "pattern literal: %v", err)
+		}
+	case *ast.PatCtor:
+		cu, ok := c.info.CtorOf[p.Ctor]
+		if !ok {
+			c.errf(p.Span(), "unknown constructor %s in pattern", p.Ctor)
+			return
+		}
+		c.info.PatCtors[p] = cu
+		if err := c.u.Unify(scrutT, Union(cu.Union)); err != nil {
+			c.errf(p.Span(), "pattern constructor %s: %v", p.Ctor, err)
+			return
+		}
+		if covered[p.Ctor] {
+			c.diags.Warnf(p.Span(), "constructor %s matched more than once", p.Ctor)
+		}
+		covered[p.Ctor] = true
+		if len(p.Args) != len(cu.Arm.Fields) {
+			c.errf(p.Span(), "pattern %s needs %d sub-patterns, got %d", p.Ctor, len(cu.Arm.Fields), len(p.Args))
+			return
+		}
+		for i, sub := range p.Args {
+			// Nested defaults don't make the whole case exhaustive.
+			nestedDefault := false
+			c.checkPattern(sub, cu.Arm.Fields[i].Type, scope, map[string]bool{}, &nestedDefault)
+		}
+	}
+}
+
+func (c *checker) checkCast(e *ast.Cast, scope *env) *Type {
+	target := c.resolveType(e.Type, map[string]*Type{})
+	src := c.checkExpr(e.Expr, scope)
+	ts, tt := Prune(src), Prune(target)
+	if ts.Kind == KVar {
+		// Let the cast pin down an unconstrained source (e.g. a literal).
+		if err := c.u.Unify(ts, tt); err == nil {
+			return target
+		}
+	}
+	ok := false
+	switch {
+	case ts.Kind == KInt && tt.Kind == KInt,
+		ts.Kind == KInt && tt.Kind == KFloat,
+		ts.Kind == KFloat && tt.Kind == KInt,
+		ts.Kind == KChar && tt.Kind == KInt,
+		ts.Kind == KInt && tt.Kind == KChar:
+		ok = true
+	default:
+		ok = c.u.Unify(ts, tt) == nil // identity cast
+	}
+	if !ok {
+		c.errf(e.Span(), "cannot cast %s to %s", ts, tt)
+	}
+	return target
+}

@@ -1,0 +1,213 @@
+package types
+
+// SymKind classifies what a name resolves to.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymLocal    SymKind = iota // let-bound value
+	SymParam                   // function parameter (immutable)
+	SymGlobal                  // top-level define
+	SymFunc                    // top-level function
+	SymBuiltin                 // language builtin (resolved by name in the compiler)
+	SymExternal                // external (simulated C) function
+	SymRegion                  // with-region binding
+	SymCtor                    // union constructor
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymLocal:
+		return "local"
+	case SymParam:
+		return "parameter"
+	case SymGlobal:
+		return "global"
+	case SymFunc:
+		return "function"
+	case SymBuiltin:
+		return "builtin"
+	case SymExternal:
+		return "external"
+	case SymRegion:
+		return "region"
+	case SymCtor:
+		return "constructor"
+	default:
+		return "symbol"
+	}
+}
+
+// Symbol is a resolved name.
+type Symbol struct {
+	Name    string
+	Kind    SymKind
+	Scheme  *Scheme
+	Mutable bool
+}
+
+// env is a lexical scope chain.
+type env struct {
+	parent *env
+	names  map[string]*Symbol
+}
+
+func newEnv(parent *env) *env {
+	return &env{parent: parent, names: map[string]*Symbol{}}
+}
+
+func (e *env) bind(s *Symbol) { e.names[s.Name] = s }
+
+func (e *env) lookup(name string) *Symbol {
+	for sc := e; sc != nil; sc = sc.parent {
+		if s, ok := sc.names[name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// builtinSchemes describes the polymorphic builtin operations. Quantified
+// variables use negative IDs so they can never collide with checker-created
+// variables, and each entry is instantiated fresh at every use site.
+//
+// Schemes are written with helper constructors below; tv(n, c) is the n'th
+// quantified variable with constraint c.
+func builtinSchemes() map[string]*Scheme {
+	tv := func(id int, c Constraint) *Type {
+		return &Type{Kind: KVar, ID: -id, Constraint: c}
+	}
+	scheme := func(t *Type, vars ...*Type) *Scheme {
+		s := &Scheme{Type: t}
+		for _, v := range vars {
+			s.Vars = append(s.Vars, SchemeVar{ID: v.ID, Constraint: v.Constraint})
+		}
+		return s
+	}
+
+	m := map[string]*Scheme{}
+
+	// Arithmetic: (T, T) -> T with T numeric.
+	for _, op := range []string{"+", "-", "*", "/"} {
+		a := tv(1, CNum)
+		m[op] = scheme(Fn([]*Type{a, a}, a), a)
+	}
+	// mod and bit operations are integral-only.
+	for _, op := range []string{"mod", "bitand", "bitor", "bitxor", "shl", "shr"} {
+		a := tv(1, CIntegral)
+		m[op] = scheme(Fn([]*Type{a, a}, a), a)
+	}
+	{
+		a := tv(1, CIntegral)
+		m["bitnot"] = scheme(Fn([]*Type{a}, a), a)
+	}
+	{
+		a := tv(1, CNum)
+		m["neg"] = scheme(Fn([]*Type{a}, a), a)
+		b := tv(2, CNum)
+		m["abs"] = scheme(Fn([]*Type{b}, b), b)
+	}
+	// Comparisons: ordered types.
+	for _, op := range []string{"<", "<=", ">", ">="} {
+		a := tv(1, COrd)
+		m[op] = scheme(Fn([]*Type{a, a}, Bool), a)
+	}
+	for _, op := range []string{"min", "max"} {
+		a := tv(1, COrd)
+		m[op] = scheme(Fn([]*Type{a, a}, a), a)
+	}
+	// Equality: everything but functions.
+	for _, op := range []string{"=", "!="} {
+		a := tv(1, CEq)
+		m[op] = scheme(Fn([]*Type{a, a}, Bool), a)
+	}
+	m["not"] = scheme(Fn([]*Type{Bool}, Bool))
+
+	// Vectors.
+	{
+		a := tv(1, CNone)
+		m["make-vector"] = scheme(Fn([]*Type{Int64, a}, Vector(a)), a)
+	}
+	{
+		a := tv(1, CNone)
+		m["vector-ref"] = scheme(Fn([]*Type{Vector(a), Int64}, a), a)
+	}
+	{
+		a := tv(1, CNone)
+		m["vector-set!"] = scheme(Fn([]*Type{Vector(a), Int64, a}, Unit), a)
+	}
+	{
+		a := tv(1, CNone)
+		m["vector-length"] = scheme(Fn([]*Type{Vector(a)}, Int64), a)
+	}
+
+	// Strings.
+	m["string-length"] = scheme(Fn([]*Type{String}, Int64))
+	m["string-ref"] = scheme(Fn([]*Type{String, Int64}, Char))
+	m["string-append"] = scheme(Fn([]*Type{String, String}, String))
+	m["substring"] = scheme(Fn([]*Type{String, Int64, Int64}, String))
+
+	// Floating point.
+	m["sqrt"] = scheme(Fn([]*Type{Float64}, Float64))
+	m["floor"] = scheme(Fn([]*Type{Float64}, Float64))
+
+	// I/O (host-provided; used by examples).
+	{
+		a := tv(1, CNone)
+		m["print"] = scheme(Fn([]*Type{a}, Unit), a)
+		b := tv(2, CNone)
+		m["println"] = scheme(Fn([]*Type{b}, Unit), b)
+	}
+
+	// Channels and threads (challenge 4).
+	{
+		a := tv(1, CNone)
+		m["make-chan"] = scheme(Fn([]*Type{Int64}, Chan(a)), a) // arg: capacity
+	}
+	{
+		a := tv(1, CNone)
+		m["send"] = scheme(Fn([]*Type{Chan(a), a}, Unit), a)
+	}
+	{
+		a := tv(1, CNone)
+		m["recv"] = scheme(Fn([]*Type{Chan(a)}, a), a)
+	}
+	m["join"] = scheme(Fn([]*Type{Int64}, Unit))
+	m["yield"] = scheme(Fn(nil, Unit))
+	m["thread-id"] = scheme(Fn(nil, Int64))
+
+	return m
+}
+
+// BuiltinNames returns the sorted list of builtin operation names, which the
+// compiler and VM use to agree on the builtin table.
+func BuiltinNames() []string {
+	m := builtinSchemes()
+	names := make([]string, 0, len(m)+3)
+	for n := range m {
+		names = append(names, n)
+	}
+	// Variadic special forms typed directly by the checker.
+	names = append(names, "and", "or", "vector")
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// IsBuiltin reports whether name is a builtin operation (including the
+// variadic special forms and/or/vector).
+func IsBuiltin(name string) bool {
+	switch name {
+	case "and", "or", "vector":
+		return true
+	}
+	_, ok := builtinSchemes()[name]
+	return ok
+}

@@ -1,0 +1,213 @@
+package types
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// genType builds a random type from a seeded source.
+func genType(r *rand.Rand, depth int) *Type {
+	prims := []*Type{Unit, Bool, Char, String, Int8, Int32, Int64, Uint16, Uint64, Float64}
+	if depth == 0 || r.Intn(3) == 0 {
+		return prims[r.Intn(len(prims))]
+	}
+	switch r.Intn(4) {
+	case 0:
+		return Vector(genType(r, depth-1))
+	case 1:
+		return Chan(genType(r, depth-1))
+	case 2:
+		return Array(genType(r, depth-1), 1+r.Intn(8))
+	default:
+		n := r.Intn(3)
+		params := make([]*Type, n)
+		for i := range params {
+			params[i] = genType(r, depth-1)
+		}
+		return Fn(params, genType(r, depth-1))
+	}
+}
+
+// TestUnifyReflexiveAndSymmetric: unify(t, t) always succeeds; success of
+// unify(a, b) matches unify(b, a) for variable-free types.
+func TestUnifyReflexiveAndSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		u := &unifier{}
+		a := genType(r, 3)
+		if err := u.Unify(a, a); err != nil {
+			t.Fatalf("unify(t,t) failed for %s: %v", a, err)
+		}
+		b := genType(r, 3)
+		e1 := (&unifier{}).Unify(a, b)
+		e2 := (&unifier{}).Unify(b, a)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("unify not symmetric for %s vs %s: %v / %v", a, b, e1, e2)
+		}
+	}
+}
+
+// TestUnifyVarBindsAnywhere: a fresh variable unifies with any type and
+// prunes to it.
+func TestUnifyVarBindsAnywhere(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		u := &unifier{}
+		v := u.fresh(0, CNone)
+		target := genType(r, 3)
+		if err := u.Unify(v, target); err != nil {
+			t.Fatalf("var failed to bind %s: %v", target, err)
+		}
+		if Prune(v).String() != target.String() {
+			t.Fatalf("pruned to %s, want %s", Prune(v), target)
+		}
+	}
+}
+
+func TestOccursCheck(t *testing.T) {
+	u := &unifier{}
+	v := u.fresh(0, CNone)
+	if err := u.Unify(v, Vector(v)); err == nil || !strings.Contains(err.Error(), "infinite") {
+		t.Fatalf("occurs check missed: %v", err)
+	}
+}
+
+func TestConstraintEnforcement(t *testing.T) {
+	cases := []struct {
+		c  Constraint
+		t  *Type
+		ok bool
+	}{
+		{CIntegral, Int32, true},
+		{CIntegral, Float64, false},
+		{CIntegral, String, false},
+		{CNum, Float64, true},
+		{CNum, Bool, false},
+		{COrd, String, true},
+		{COrd, Unit, false},
+		{CEq, Vector(Int32), true},
+		{CEq, Fn(nil, Unit), false},
+		{CNone, Fn(nil, Unit), true},
+	}
+	for _, c := range cases {
+		u := &unifier{}
+		v := u.fresh(0, c.c)
+		err := u.Unify(v, c.t)
+		if (err == nil) != c.ok {
+			t.Errorf("constraint %v with %s: err=%v, want ok=%v", c.c, c.t, err, c.ok)
+		}
+	}
+}
+
+func TestConstraintMergeOnVarVarUnify(t *testing.T) {
+	u := &unifier{}
+	a := u.fresh(0, CIntegral)
+	b := u.fresh(0, CNone)
+	if err := u.Unify(a, b); err != nil {
+		t.Fatal(err)
+	}
+	// The surviving variable must carry the stronger constraint.
+	if err := u.Unify(b, String); err == nil {
+		t.Fatal("merged constraint lost: string accepted by integral var")
+	}
+	u2 := &unifier{}
+	c := u2.fresh(0, CIntegral)
+	d := u2.fresh(0, CNone)
+	if err := u2.Unify(c, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := u2.Unify(d, Int16); err != nil {
+		t.Fatalf("int rejected after merge: %v", err)
+	}
+}
+
+func TestArityAndLengthMismatches(t *testing.T) {
+	u := &unifier{}
+	if err := u.Unify(Fn([]*Type{Int32}, Unit), Fn([]*Type{Int32, Int32}, Unit)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := u.Unify(Array(Int32, 4), Array(Int32, 5)); err == nil {
+		t.Error("array length mismatch accepted")
+	}
+	if err := u.Unify(Int32, Uint32); err == nil {
+		t.Error("signedness mismatch accepted")
+	}
+	if err := u.Unify(Int32, Int64); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestDistinctNominalTypes(t *testing.T) {
+	s1 := &StructInfo{Name: "a", Fields: []FieldInfo{{Name: "x", Type: Int32}}}
+	s2 := &StructInfo{Name: "a", Fields: []FieldInfo{{Name: "x", Type: Int32}}}
+	u := &unifier{}
+	// Same shape, different declarations: nominal typing rejects.
+	if err := u.Unify(Struct(s1), Struct(s2)); err == nil {
+		t.Error("distinct struct declarations unified")
+	}
+	if err := u.Unify(Struct(s1), Struct(s1)); err != nil {
+		t.Errorf("identical declaration rejected: %v", err)
+	}
+}
+
+func TestTypeStringRendering(t *testing.T) {
+	cases := map[string]*Type{
+		"int32":             Int32,
+		"uint8":             Uint8,
+		"(vector int64)":    Vector(Int64),
+		"(array uint8 16)":  Array(Uint8, 16),
+		"(chan bool)":       Chan(Bool),
+		"(-> (int32) bool)": Fn([]*Type{Int32}, Bool),
+		"float64":           Float64,
+		"string":            String,
+		"unit":              Unit,
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%s rendered as %q", want, got)
+		}
+	}
+	// Variables render as 'a with constraints.
+	u := &unifier{}
+	v := u.fresh(0, CIntegral)
+	if s := v.String(); !strings.Contains(s, "'a") || !strings.Contains(s, "integral") {
+		t.Errorf("var rendered as %q", s)
+	}
+}
+
+func TestInstantiateFreshness(t *testing.T) {
+	u := &unifier{}
+	qv := &Type{Kind: KVar, ID: -1, Constraint: CNone}
+	sch := &Scheme{Vars: []SchemeVar{{ID: -1}}, Type: Fn([]*Type{qv}, qv)}
+	t1 := u.Instantiate(sch, 0)
+	t2 := u.Instantiate(sch, 0)
+	// Unifying t1's param with Int32 must not contaminate t2.
+	if err := u.Unify(Prune(t1).Params[0], Int32); err != nil {
+		t.Fatal(err)
+	}
+	if Prune(Prune(t2).Params[0]).Kind != KVar {
+		t.Fatal("instantiations share variables")
+	}
+	// Mono schemes instantiate to themselves.
+	if u.Instantiate(Mono(Int32), 0) != Int32 {
+		t.Fatal("mono instantiation copied")
+	}
+}
+
+func TestDefaultTypeResolution(t *testing.T) {
+	u := &unifier{}
+	iv := u.fresh(0, CIntegral)
+	if DefaultType(iv) != Int64 {
+		t.Error("integral var should default to int64")
+	}
+	nv := u.fresh(0, CNone)
+	if DefaultType(nv) != Unit {
+		t.Error("unconstrained var should default to unit")
+	}
+	vec := Vector(u.fresh(0, CNum))
+	DefaultType(vec)
+	if Prune(vec.Elem) != Int64 {
+		t.Error("nested var not defaulted")
+	}
+}

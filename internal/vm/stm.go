@@ -1,0 +1,167 @@
+package vm
+
+// txn is an optimistic software transaction (the atomic form). Reads record
+// the version of each object at first touch; writes are buffered. At commit,
+// if any read object's version moved, the transaction rolls back to its
+// snapshot and re-executes — the composable alternative to locks argued for
+// by Harris et al. and discussed by the paper's challenge 4.
+type txn struct {
+	reads  map[*Object]uint64
+	writes map[*Object]map[int]Value
+
+	// Rollback snapshot.
+	frameDepth int
+	block, ip  int
+	regs       []Value
+	depth      int // nesting depth (flattened)
+	attempts   int
+}
+
+const maxTxnAttempts = 1000
+
+func (v *VM) atomicBegin(t *Thread, fr *Frame) error {
+	if t.txn != nil {
+		t.txn.depth++
+		return nil
+	}
+	snapRegs := make([]Value, len(fr.regs))
+	copy(snapRegs, fr.regs)
+	t.txn = &txn{
+		reads:      map[*Object]uint64{},
+		writes:     map[*Object]map[int]Value{},
+		frameDepth: len(t.frames),
+		block:      fr.block,
+		ip:         fr.ip - 1, // re-execute the OpAtomicBegin on retry
+		regs:       snapRegs,
+		depth:      1,
+		attempts:   1,
+	}
+	return nil
+}
+
+func (v *VM) atomicEnd(t *Thread) error {
+	tx := t.txn
+	if tx == nil {
+		return trapf("atomic.end outside a transaction")
+	}
+	tx.depth--
+	if tx.depth > 0 {
+		return nil
+	}
+	// Validate the read set.
+	for o, ver := range tx.reads {
+		if o.Version != ver {
+			return v.atomicRetry(t)
+		}
+	}
+	// Commit the write set.
+	for o, fields := range tx.writes {
+		for i, val := range fields {
+			o.Elems[i] = val
+		}
+		o.Version++
+	}
+	t.txn = nil
+	v.Stats.TxCommits++
+	return nil
+}
+
+// atomicRetry rolls the thread back to the transaction snapshot.
+func (v *VM) atomicRetry(t *Thread) error {
+	tx := t.txn
+	v.Stats.TxAborts++
+	if tx.attempts >= maxTxnAttempts {
+		return trapf("transaction aborted %d times; giving up (livelock?)", tx.attempts)
+	}
+	// Unwind any frames pushed inside the transaction and restore registers.
+	t.frames = t.frames[:tx.frameDepth]
+	fr := t.frames[len(t.frames)-1]
+	copy(fr.regs, tx.regs)
+	fr.block, fr.ip = tx.block, tx.ip+1 // resume just after OpAtomicBegin
+
+	// Fresh transaction with the same snapshot and an incremented attempt
+	// count (the snapshot registers are immutable — reuse a private copy).
+	snapRegs := make([]Value, len(tx.regs))
+	copy(snapRegs, tx.regs)
+	t.txn = &txn{
+		reads:      map[*Object]uint64{},
+		writes:     map[*Object]map[int]Value{},
+		frameDepth: tx.frameDepth,
+		block:      tx.block,
+		ip:         tx.ip,
+		regs:       snapRegs,
+		depth:      1,
+		attempts:   tx.attempts + 1,
+	}
+	return nil
+}
+
+// read returns the transactional view of o.Elems[i].
+func (tx *txn) read(o *Object, i int) Value {
+	if w, ok := tx.writes[o]; ok {
+		if val, ok := w[i]; ok {
+			return val
+		}
+	}
+	if _, seen := tx.reads[o]; !seen {
+		tx.reads[o] = o.Version
+	}
+	return o.Elems[i]
+}
+
+// write buffers a transactional store.
+func (tx *txn) write(o *Object, i int, val Value) {
+	if _, seen := tx.reads[o]; !seen {
+		tx.reads[o] = o.Version // writes validate too (no blind-write races)
+	}
+	w, ok := tx.writes[o]
+	if !ok {
+		w = map[int]Value{}
+		tx.writes[o] = w
+	}
+	w[i] = val
+}
+
+// ---------------------------------------------------------------------------
+// Locks
+// ---------------------------------------------------------------------------
+
+func (v *VM) lockAcquire(t *Thread, fr *Frame, name string) error {
+	if t.txn != nil {
+		return trapf("lock acquisition inside atomic is not allowed")
+	}
+	ls := v.locks[name]
+	if ls == nil {
+		ls = &lockState{}
+		v.locks[name] = ls
+	}
+	if ls.owner == nil {
+		ls.owner = t
+		return nil
+	}
+	if ls.owner == t {
+		return trapf("deadlock: thread %d re-acquiring lock %s it already holds", t.ID, name)
+	}
+	// Block: when released, the unlocker hands the lock over and re-runs us
+	// from the instruction after this one.
+	t.state = TBlockedLock
+	t.waitLock = name
+	ls.waiters = append(ls.waiters, t)
+	return nil
+}
+
+func (v *VM) lockRelease(t *Thread, name string) error {
+	ls := v.locks[name]
+	if ls == nil || ls.owner != t {
+		return trapf("thread %d releasing lock %s it does not hold", t.ID, name)
+	}
+	if len(ls.waiters) > 0 {
+		next := ls.waiters[0]
+		ls.waiters = ls.waiters[1:]
+		ls.owner = next
+		next.state = TRunnable
+	} else {
+		ls.owner = nil
+	}
+	return nil
+}

@@ -1,0 +1,491 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+
+	"bitc/internal/ir"
+	"bitc/internal/layout"
+	"bitc/internal/types"
+)
+
+// RepMode selects the value representation the machine simulates.
+type RepMode int
+
+// Representation modes.
+const (
+	// Unboxed: scalars are immediate machine words; aggregates use their
+	// declared (natural/packed) layout. This is the BitC/C story.
+	Unboxed RepMode = iota
+	// Boxed: the uniform representation — every scalar result is allocated
+	// in a heap box and operands are read through their boxes.
+	Boxed
+)
+
+func (m RepMode) String() string {
+	if m == Boxed {
+		return "boxed"
+	}
+	return "unboxed"
+}
+
+// Options configures a VM instance.
+type Options struct {
+	Mode     RepMode
+	Seed     uint64 // scheduler PRNG seed (deterministic interleavings)
+	Quantum  int    // instructions between preemption points (default 64)
+	MaxSteps uint64 // 0 = unlimited; otherwise trap after this many instructions
+	Stdout   io.Writer
+	// RespectNoBox honours the optimiser's NoBox annotations in Boxed mode
+	// (experiment E2 runs with and without it).
+	RespectNoBox bool
+}
+
+// Stats is the VM's instrumentation, the raw material of the benchmark tables.
+type Stats struct {
+	Instrs          uint64
+	Calls           uint64
+	Allocs          uint64 // aggregate objects allocated
+	HeapBytes       uint64 // layout-accounted bytes of aggregates
+	BoxAllocs       uint64 // scalar boxes allocated (Boxed mode)
+	BoxBytes        uint64
+	BoxReads        uint64
+	FieldReads      uint64
+	FieldWrites     uint64
+	VecOps          uint64
+	Switches        uint64 // thread context switches
+	TxCommits       uint64
+	TxAborts        uint64
+	ExternCalls     uint64
+	MarshalledBytes uint64
+	RegionAllocs    uint64
+}
+
+// ThreadState tracks scheduling.
+type ThreadState int
+
+// Thread states.
+const (
+	TRunnable ThreadState = iota
+	TBlockedSend
+	TBlockedRecv
+	TBlockedLock
+	TBlockedJoin
+	TDone
+)
+
+// Frame is one activation record.
+type Frame struct {
+	fn    *ir.Func
+	regs  []Value
+	block int
+	ip    int
+	dst   ir.Reg // caller register receiving the return value
+}
+
+// Thread is a green thread.
+type Thread struct {
+	ID     int64
+	frames []*Frame
+	state  ThreadState
+	result Value
+
+	waitChan     *ChanState
+	waitVal      Value
+	waitLock     string
+	waitTid      int64
+	waitDstFrame *Frame
+	waitDst      ir.Reg
+
+	// yielded requests an immediate reschedule at the next quantum check.
+	yielded bool
+
+	txn *txn
+}
+
+type lockState struct {
+	owner   *Thread
+	waiters []*Thread
+}
+
+// ExternFunc is a host-registered "C" function for the simulated FFI.
+type ExternFunc func(args []int64) int64
+
+// VM executes one module.
+type VM struct {
+	mod  *ir.Module
+	opts Options
+
+	globals  []Value
+	threads  []*Thread
+	nextTid  int64
+	rngState uint64
+
+	locks map[string]*lockState
+
+	regionsAlive []bool
+	regionCount  []int // objects allocated per region
+
+	// Externs maps C symbol names to host implementations.
+	Externs map[string]ExternFunc
+
+	// Layout caches per struct (unboxed uses the declared packing).
+	layouts map[string]*layout.StructLayout
+
+	Stats Stats
+
+	stepsLeft uint64 // derived from MaxSteps
+
+	// framePool recycles activation records; the interpreter is
+	// single-threaded (green threads share it), so no locking is needed.
+	framePool []*Frame
+}
+
+// New creates a VM for mod.
+func New(mod *ir.Module, opts Options) *VM {
+	if opts.Quantum <= 0 {
+		opts.Quantum = 64
+	}
+	if opts.Stdout == nil {
+		opts.Stdout = io.Discard
+	}
+	v := &VM{
+		mod:      mod,
+		opts:     opts,
+		locks:    map[string]*lockState{},
+		Externs:  map[string]ExternFunc{},
+		layouts:  map[string]*layout.StructLayout{},
+		rngState: opts.Seed*2654435761 + 1,
+	}
+	if opts.MaxSteps > 0 {
+		v.stepsLeft = opts.MaxSteps
+	} else {
+		v.stepsLeft = ^uint64(0)
+	}
+	return v
+}
+
+// Mode returns the representation mode.
+func (v *VM) Mode() RepMode { return v.opts.Mode }
+
+func (v *VM) rng() uint64 {
+	// xorshift64*
+	x := v.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	v.rngState = x
+	return x * 2685821657736338717
+}
+
+// layoutOf returns the (cached) layout of a struct under the current mode.
+func (v *VM) layoutOf(si *types.StructInfo) *layout.StructLayout {
+	key := si.Name
+	if l, ok := v.layouts[key]; ok {
+		return l
+	}
+	mode := layout.Natural
+	if si.Packed {
+		mode = layout.Packed
+	}
+	if v.opts.Mode == Boxed {
+		mode = layout.Boxed
+	}
+	l, err := layout.Of(si, mode)
+	if err != nil {
+		l = &layout.StructLayout{Name: si.Name, Size: 8 * len(si.Fields)}
+	}
+	v.layouts[key] = l
+	return l
+}
+
+// Run initialises globals, then executes main (if present). Returns main's
+// value.
+func (v *VM) Run() (Value, error) {
+	if err := v.initGlobals(); err != nil {
+		return unitVal(), err
+	}
+	if v.mod.Entry < 0 {
+		return unitVal(), nil
+	}
+	return v.RunFunc("main")
+}
+
+// RunFunc initialises globals if needed and invokes the named function with
+// the given arguments on a fresh main thread, running the scheduler until
+// completion.
+func (v *VM) RunFunc(name string, args ...Value) (Value, error) {
+	if v.globals == nil {
+		if err := v.initGlobals(); err != nil {
+			return unitVal(), err
+		}
+	}
+	idx, ok := v.mod.FuncIdx[name]
+	if !ok {
+		return unitVal(), trapf("no function %s", name)
+	}
+	f := v.mod.Funcs[idx]
+	if len(args) != f.NumParams {
+		return unitVal(), trapf("%s expects %d arguments, got %d", name, f.NumParams, len(args))
+	}
+	main := v.spawnThread(f, args, nil)
+	if err := v.schedule(); err != nil {
+		return unitVal(), err
+	}
+	return main.result, nil
+}
+
+func (v *VM) initGlobals() error {
+	v.globals = make([]Value, len(v.mod.Globals))
+	for i, g := range v.mod.Globals {
+		t := v.spawnThread(v.mod.Funcs[g.Init], nil, nil)
+		if err := v.schedule(); err != nil {
+			return fmt.Errorf("initialising global %s: %w", g.Name, err)
+		}
+		v.globals[i] = t.result
+	}
+	return nil
+}
+
+func (v *VM) spawnThread(f *ir.Func, args []Value, env []Value) *Thread {
+	fr := &Frame{fn: f, regs: make([]Value, f.NumRegs), dst: ir.NoReg}
+	copy(fr.regs, args)
+	for i, r := range f.CaptureRegs {
+		if i < len(env) {
+			fr.regs[r] = env[i]
+		}
+	}
+	v.nextTid++
+	t := &Thread{ID: v.nextTid, frames: []*Frame{fr}, state: TRunnable}
+	v.threads = append(v.threads, t)
+	return t
+}
+
+// schedule runs all threads to completion (or deadlock/trap).
+func (v *VM) schedule() error {
+	for {
+		t := v.pickRunnable()
+		if t == nil {
+			// All done, or deadlock.
+			for _, th := range v.threads {
+				if th.state != TDone {
+					return trapf("deadlock: thread %d blocked (%s) with no runnable threads",
+						th.ID, stateName(th.state))
+				}
+			}
+			v.threads = v.threads[:0]
+			return nil
+		}
+		if err := v.runQuantum(t); err != nil {
+			return err
+		}
+	}
+}
+
+func stateName(s ThreadState) string {
+	switch s {
+	case TBlockedSend:
+		return "send"
+	case TBlockedRecv:
+		return "recv"
+	case TBlockedLock:
+		return "lock"
+	case TBlockedJoin:
+		return "join"
+	default:
+		return "runnable"
+	}
+}
+
+func (v *VM) pickRunnable() *Thread {
+	var runnable []*Thread
+	for _, t := range v.threads {
+		if t.state == TRunnable {
+			runnable = append(runnable, t)
+		}
+	}
+	if len(runnable) == 0 {
+		return nil
+	}
+	if len(runnable) == 1 {
+		return runnable[0]
+	}
+	v.Stats.Switches++
+	return runnable[int(v.rng()%uint64(len(runnable)))]
+}
+
+// runQuantum executes up to Quantum instructions on t.
+func (v *VM) runQuantum(t *Thread) error {
+	for n := 0; n < v.opts.Quantum; n++ {
+		if t.state != TRunnable || len(t.frames) == 0 {
+			return nil
+		}
+		if t.yielded {
+			t.yielded = false
+			return nil
+		}
+		if v.stepsLeft == 0 {
+			return trapf("instruction budget exhausted")
+		}
+		v.stepsLeft--
+		if err := v.step(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step executes one instruction or terminator of t's top frame.
+func (v *VM) step(t *Thread) error {
+	fr := t.frames[len(t.frames)-1]
+	blk := fr.fn.Blocks[fr.block]
+	if fr.ip >= len(blk.Instrs) {
+		return v.terminator(t, fr, blk.Term)
+	}
+	in := &blk.Instrs[fr.ip]
+	fr.ip++
+	v.Stats.Instrs++
+	return v.exec(t, fr, in)
+}
+
+func (v *VM) terminator(t *Thread, fr *Frame, term ir.Terminator) error {
+	switch term.Kind {
+	case ir.TermJump:
+		fr.block, fr.ip = term.To, 0
+		return nil
+	case ir.TermBranch:
+		if fr.regs[term.Cond].Truthy() {
+			fr.block = term.To
+		} else {
+			fr.block = term.Else
+		}
+		fr.ip = 0
+		return nil
+	case ir.TermReturn:
+		var result Value
+		if term.Val != ir.NoReg {
+			result = fr.regs[term.Val]
+		} else {
+			result = unitVal()
+		}
+		t.frames = t.frames[:len(t.frames)-1]
+		if len(t.frames) == 0 {
+			t.result = result
+			t.state = TDone
+			v.wakeJoiners(t)
+			return nil
+		}
+		caller := t.frames[len(t.frames)-1]
+		if fr.dst != ir.NoReg {
+			caller.regs[fr.dst] = result
+		}
+		v.releaseFrame(fr)
+		return nil
+	default:
+		return trapf("bad terminator")
+	}
+}
+
+func (v *VM) wakeJoiners(done *Thread) {
+	for _, th := range v.threads {
+		if th.state == TBlockedJoin && th.waitTid == done.ID {
+			th.state = TRunnable
+		}
+	}
+}
+
+const maxFrames = 10000
+
+// newFrame takes a pooled activation record when one fits, else allocates.
+func (v *VM) newFrame(f *ir.Func, dst ir.Reg) *Frame {
+	if n := len(v.framePool); n > 0 {
+		fr := v.framePool[n-1]
+		v.framePool = v.framePool[:n-1]
+		if cap(fr.regs) >= f.NumRegs {
+			fr.regs = fr.regs[:f.NumRegs]
+			for i := range fr.regs {
+				fr.regs[i] = Value{}
+			}
+		} else {
+			fr.regs = make([]Value, f.NumRegs)
+		}
+		fr.fn, fr.dst, fr.block, fr.ip = f, dst, 0, 0
+		return fr
+	}
+	return &Frame{fn: f, regs: make([]Value, f.NumRegs), dst: dst}
+}
+
+// releaseFrame returns an activation record to the pool.
+func (v *VM) releaseFrame(fr *Frame) {
+	if len(v.framePool) < 64 {
+		v.framePool = append(v.framePool, fr)
+	}
+}
+
+func (v *VM) pushCall(t *Thread, f *ir.Func, args []Value, env []Value, dst ir.Reg) error {
+	if len(t.frames) >= maxFrames {
+		return trapf("stack overflow: more than %d frames", maxFrames)
+	}
+	fr := v.newFrame(f, dst)
+	copy(fr.regs, args)
+	for i, r := range f.CaptureRegs {
+		if i < len(env) {
+			fr.regs[r] = env[i]
+		}
+	}
+	t.frames = append(t.frames, fr)
+	v.Stats.Calls++
+	return nil
+}
+
+// boxResult applies the uniform-representation cost to a freshly computed
+// scalar: allocate its box and route the value through it.
+func (v *VM) boxResult(in *ir.Instr, val Value) Value {
+	if v.opts.Mode != Boxed {
+		return val
+	}
+	if v.opts.RespectNoBox && in.NoBox {
+		return val
+	}
+	switch val.K {
+	case KInt, KBool, KChar:
+		val.b = &box{i: val.I}
+		v.Stats.BoxAllocs++
+		v.Stats.BoxBytes += 16
+	case KFloat:
+		val.b = &box{f: val.F}
+		v.Stats.BoxAllocs++
+		v.Stats.BoxBytes += 16
+	}
+	return val
+}
+
+// loadInt reads an integer operand, paying the unbox cost when it is boxed.
+func (v *VM) loadInt(val Value) int64 {
+	if val.b != nil {
+		v.Stats.BoxReads++
+		return val.b.i
+	}
+	return val.I
+}
+
+func (v *VM) loadFloat(val Value) float64 {
+	if val.b != nil {
+		v.Stats.BoxReads++
+		return val.b.f
+	}
+	return val.F
+}
+
+// wrap truncates x to the given width/signedness (two's complement).
+func wrap(x int64, bits int, signed bool) int64 {
+	if bits >= 64 {
+		return x
+	}
+	mask := (uint64(1) << uint(bits)) - 1
+	u := uint64(x) & mask
+	if signed && u&(1<<uint(bits-1)) != 0 {
+		return int64(u | ^mask)
+	}
+	return int64(u)
+}
