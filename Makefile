@@ -1,0 +1,12 @@
+# Convenience entry points; `make check` is the CI gate.
+
+.PHONY: check test bench
+
+check:
+	sh scripts/check.sh
+
+test:
+	go build ./... && go test ./...
+
+bench:
+	go test -bench=. -benchmem

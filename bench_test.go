@@ -5,8 +5,11 @@
 package bitc
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
+	"bitc/internal/analysis"
 	"bitc/internal/bench"
 	"bitc/internal/core"
 	"bitc/internal/opt"
@@ -86,3 +89,41 @@ func BenchmarkE7Representation(b *testing.B) { runAll(b, "E7") }
 // BenchmarkE8SharedState regenerates challenge 4's tables: the bank transfer
 // under three disciplines plus the static verdicts.
 func BenchmarkE8SharedState(b *testing.B) { runAll(b, "E8") }
+
+// BenchmarkAnalysisDriver measures static-analyzer throughput over the
+// golden corpus: the full seven-analyzer suite under the sequential driver
+// vs the bounded parallel worker pool. Findings-per-run is reported so a
+// checker regression that silently changes coverage shows up here too.
+func BenchmarkAnalysisDriver(b *testing.B) {
+	files, err := filepath.Glob("internal/core/testdata/*.bitc")
+	if err != nil || len(files) == 0 {
+		b.Fatalf("no corpus: %v", err)
+	}
+	var progs []*core.Program
+	for _, path := range files {
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			b.Fatal(rerr)
+		}
+		progs = append(progs, core.MustLoad(filepath.Base(path), string(src), core.DefaultConfig))
+	}
+	for _, mode := range []struct {
+		name        string
+		parallelism int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			findings := 0
+			for i := 0; i < b.N; i++ {
+				findings = 0
+				for _, p := range progs {
+					rep, aerr := p.Analyze(analysis.Options{Parallelism: mode.parallelism})
+					if aerr != nil {
+						b.Fatal(aerr)
+					}
+					findings += len(rep.Findings)
+				}
+			}
+			b.ReportMetric(float64(findings), "findings/run")
+		})
+	}
+}

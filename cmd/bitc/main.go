@@ -7,10 +7,22 @@
 //	bitc run [-boxed] [-contracts] [-seed N] <file>
 //	                             compile and execute main
 //	bitc verify <file>           generate + discharge verification conditions
-//	bitc analyze <file>          region-escape and race analyses
+//	bitc analyze [-json] [-enable LIST] [-disable LIST] [-severity S] <file>
+//	                             run the unified static-analysis suite;
+//	                             exits 1 if any error-severity finding
 //	bitc dump-ir <file>          print the optimised IR
 //	bitc dump-layout <file>      print struct layouts (packed/natural/boxed)
 //	bitc fmt <file>              print the normalised program
+//
+// Analyzers (select with -enable/-disable; codes appear in findings):
+//
+//	deadlock   BITC-DLOCK001/002  lock-order cycles, re-entrant acquisition
+//	deadstore  BITC-DEAD001/002   dead stores, unused let bindings
+//	definit    BITC-INIT001       mutable locals read before first set!
+//	escape     BITC-ESCAPE001     region values outliving their region
+//	ffi        BITC-FFI001/002/003 C-ABI boundary violations
+//	race       BITC-RACE001       lockset data races
+//	truncate   BITC-TRUNC001/002  casts that can lose bits
 package main
 
 import (
@@ -18,11 +30,14 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
+	"bitc/internal/analysis"
 	"bitc/internal/ast"
 	"bitc/internal/core"
 	"bitc/internal/layout"
 	"bitc/internal/opt"
+	"bitc/internal/source"
 	"bitc/internal/verify"
 	"bitc/internal/vm"
 )
@@ -36,7 +51,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: bitc <check|run|verify|analyze|dump-ir|dump-layout|fmt|repl> [flags] <file>")
+		return fmt.Errorf("usage: bitc <check|run|verify|analyze|dump-ir|dump-layout|fmt|repl> [flags] <file>\n(try `bitc analyze -h` for the static-analysis suite and its lint codes)")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -53,6 +68,21 @@ func run(args []string) error {
 	entry := fs.String("entry", "main", "entry function for run")
 	noBounds := fs.Bool("no-bounds", false, "verify: skip vector bounds obligations")
 	noDivZero := fs.Bool("no-divzero", false, "verify: skip division-by-zero obligations")
+	jsonOut := fs.Bool("json", false, "analyze: emit machine-readable JSON findings")
+	enable := fs.String("enable", "", "analyze: comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "analyze: comma-separated analyzers to skip")
+	minSev := fs.String("severity", "note", "analyze: minimum severity to report (note|warning|error)")
+	if cmd == "analyze" {
+		fs.Usage = func() {
+			fmt.Fprintln(os.Stderr, "usage: bitc analyze [-json] [-enable LIST] [-disable LIST] [-severity S] <file>")
+			fmt.Fprintln(os.Stderr, "exit status: 1 when any error-severity finding is reported")
+			fs.PrintDefaults()
+			fmt.Fprintln(os.Stderr, "\navailable analyzers:")
+			for _, a := range analysis.Registry() {
+				fmt.Fprintf(os.Stderr, "  %-10s %-34s %s\n", a.Name, strings.Join(a.Codes, ","), a.Doc)
+			}
+		}
+	}
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -117,16 +147,37 @@ func run(args []string) error {
 		return nil
 
 	case "analyze":
-		escapes := prog.CheckRegions()
-		for _, e := range escapes {
-			fmt.Println("region-escape:", e)
+		opts := analysis.Options{}
+		if *enable != "" {
+			opts.Enable = strings.Split(*enable, ",")
 		}
-		races := prog.Races()
-		for _, r := range races.Races {
-			fmt.Println("race:", r)
+		if *disable != "" {
+			opts.Disable = strings.Split(*disable, ",")
 		}
-		fmt.Printf("%d region escapes, %d potential races (%d shared accesses)\n",
-			len(escapes), len(races.Races), len(races.Accesses))
+		switch *minSev {
+		case "note":
+			opts.MinSeverity = source.Note
+		case "warning":
+			opts.MinSeverity = source.Warning
+		case "error":
+			opts.MinSeverity = source.Error
+		default:
+			return fmt.Errorf("unknown -severity %q (want note, warning, or error)", *minSev)
+		}
+		rep, err := prog.Analyze(opts)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			rep.Render(os.Stdout)
+		}
+		if rep.HasErrors() {
+			return fmt.Errorf("analysis reported %d error-severity findings", rep.CountBySeverity(source.Error))
+		}
 		return nil
 
 	case "dump-ir":

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -124,19 +125,80 @@ func TestVerifyCommandFail(t *testing.T) {
 	}
 }
 
+const racy = `
+(defstruct cell (v int64))
+(define shared cell (make cell :v 0))
+(define (w) unit (set-field! shared v 1))
+(define (main) unit
+  (let ((t1 (spawn (w))) (t2 (spawn (w)))) (join t1) (join t2)))`
+
 func TestAnalyzeCommand(t *testing.T) {
-	src := `
-	  (defstruct cell (v int64))
-	  (define shared cell (make cell :v 0))
-	  (define (w) unit (set-field! shared v 1))
-	  (define (main) unit
-	    (let ((t1 (spawn (w))) (t2 (spawn (w)))) (join t1) (join t2)))`
-	out, err := capture(t, []string{"analyze", writeProg(t, src)})
+	out, err := capture(t, []string{"analyze", writeProg(t, racy)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "race:") {
+	if !strings.Contains(out, "BITC-RACE001") {
 		t.Errorf("race not reported: %q", out)
+	}
+	if !strings.Contains(out, "warning[") || !strings.Contains(out, "findings") {
+		t.Errorf("pretty format wrong: %q", out)
+	}
+}
+
+func TestAnalyzeJSONFlag(t *testing.T) {
+	out, err := capture(t, []string{"analyze", "-json", writeProg(t, racy)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Findings []struct {
+			Code string `json:"code"`
+		} `json:"findings"`
+		Warnings int `json:"warnings"`
+	}
+	if jerr := json.Unmarshal([]byte(out), &doc); jerr != nil {
+		t.Fatalf("invalid JSON: %v\n%s", jerr, out)
+	}
+	if len(doc.Findings) == 0 || doc.Findings[0].Code != "BITC-RACE001" {
+		t.Errorf("findings = %+v", doc.Findings)
+	}
+}
+
+func TestAnalyzeEnableDisableFlags(t *testing.T) {
+	out, err := capture(t, []string{"analyze", "-disable", "race", writeProg(t, racy)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "BITC-RACE001") {
+		t.Errorf("disabled analyzer still ran: %q", out)
+	}
+	out, err = capture(t, []string{"analyze", "-enable", "deadstore", writeProg(t, racy)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "BITC-RACE001") {
+		t.Errorf("-enable did not restrict the suite: %q", out)
+	}
+	if err := run([]string{"analyze", "-enable", "bogus", writeProg(t, racy)}); err == nil {
+		t.Error("unknown analyzer accepted")
+	}
+}
+
+func TestAnalyzeSeverityFlagAndExitCode(t *testing.T) {
+	// Warnings alone exit 0; -severity error filters them out of the report.
+	out, err := capture(t, []string{"analyze", "-severity", "error", writeProg(t, racy)})
+	if err != nil {
+		t.Fatalf("warnings must not fail the exit-code contract: %v", err)
+	}
+	if strings.Contains(out, "BITC-RACE001") {
+		t.Errorf("severity filter leak: %q", out)
+	}
+	// An unmarshallable external is error severity: non-zero exit.
+	bad := `
+	  (external keep (-> ((vector int64)) int64) "keep")
+	  (define (main) int64 7)`
+	if err := run([]string{"analyze", writeProg(t, bad)}); err == nil {
+		t.Error("error-severity findings must make analyze fail")
 	}
 }
 

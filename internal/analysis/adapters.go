@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"bitc/internal/concurrent"
+	"bitc/internal/regions"
+	"bitc/internal/source"
+)
+
+// The race and escape analyzers adapt the two pre-existing analysis islands
+// (internal/concurrent's lockset pass and internal/regions' escape checker)
+// onto the unified driver. Both are whole-program: races need cross-function
+// spawn reachability and escapes are reported per definition anyway.
+
+// CodeRace is emitted for a lockset race between two shared accesses.
+const CodeRace = "BITC-RACE001"
+
+// CodeEscape is emitted when a region allocation may outlive its region.
+const CodeEscape = "BITC-ESCAPE001"
+
+var raceAnalyzer = register(&Analyzer{
+	Name: "race",
+	Doc:  "lockset analysis: shared fields accessed from concurrent threads with disjoint locksets",
+	Code: CodeRace,
+	Run: func(p *Pass) {
+		rep := concurrent.Analyze(p.Prog, p.Info)
+		for _, r := range rep.Races {
+			p.Report(Finding{
+				Code:     CodeRace,
+				Severity: source.Warning,
+				Span:     r.A.Span,
+				Message: fmt.Sprintf("potential race on %s: %s in %s holds {%s}",
+					r.Location, rw(r.A.Write), r.A.Func, strings.Join(r.A.Lockset, ",")),
+				Related: []Related{{
+					Span: r.B.Span,
+					Message: fmt.Sprintf("conflicting %s in %s holds {%s}",
+						rw(r.B.Write), r.B.Func, strings.Join(r.B.Lockset, ",")),
+				}},
+			})
+		}
+	},
+})
+
+func rw(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+var escapeAnalyzer = register(&Analyzer{
+	Name: "escape",
+	Doc:  "region escape analysis: values that may outlive their region's dynamic extent",
+	Code: CodeEscape,
+	Run: func(p *Pass) {
+		for _, e := range regions.Check(p.Prog, p.Info) {
+			p.Reportf(CodeEscape, source.Warning, e.Span,
+				"%s: value from region %s may escape: %s", e.Func, e.Region, e.Reason)
+		}
+	},
+})

@@ -1,0 +1,167 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bitc/internal/analysis"
+	"bitc/internal/source"
+)
+
+// noisy is a program that trips several analyzers at once, in source order
+// that differs from discovery order — good for determinism checks.
+const noisy = `
+(defstruct cell (v int64))
+(define counter cell (make cell :v 0))
+(define (bump) unit
+  (set-field! counter v (+ (field counter v) 1)))
+(define (waste) int64
+  (let ((unused 1) (mutable x 0))
+    (println x)
+    (set! x 2)
+    (set! x 3)
+    7))
+(define (narrow (n int64)) uint8
+  (cast uint8 n))
+(define (main) unit
+  (let ((t1 (spawn (bump))) (t2 (spawn (bump))))
+    (join t1) (join t2)))
+`
+
+func TestSevenAnalyzersRegistered(t *testing.T) {
+	want := []string{"deadlock", "deadstore", "definit", "escape", "ffi", "race", "truncate"}
+	got := analysis.Registry()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Code == "" || !strings.HasPrefix(a.Code, "BITC-") {
+			t.Errorf("%s has no BITC- lint code: %q", a.Name, a.Code)
+		}
+		if a.Doc == "" {
+			t.Errorf("%s has no doc", a.Name)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	render := func(parallelism int) string {
+		rep := runOpts(t, noisy, analysis.Options{Parallelism: parallelism})
+		var buf bytes.Buffer
+		rep.Render(&buf)
+		return buf.String()
+	}
+	seq := render(1)
+	if !strings.Contains(seq, "BITC-RACE001") || !strings.Contains(seq, "BITC-TRUNC001") {
+		t.Fatalf("expected findings missing:\n%s", seq)
+	}
+	// Many parallel runs: scheduling must never change the rendered bytes.
+	for i := 0; i < 20; i++ {
+		if par := render(0); par != seq {
+			t.Fatalf("parallel output differs from sequential:\n--- seq\n%s\n--- par\n%s", seq, par)
+		}
+	}
+}
+
+func TestJSONOutputValid(t *testing.T) {
+	rep := runOn(t, noisy)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		File      string   `json:"file"`
+		Analyzers []string `json:"analyzers"`
+		Findings  []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			Analyzer string `json:"analyzer"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		Errors   int `json:"errors"`
+		Warnings int `json:"warnings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.File != "t.bitc" || len(doc.Analyzers) != 7 {
+		t.Errorf("header wrong: file=%q analyzers=%v", doc.File, doc.Analyzers)
+	}
+	if len(doc.Findings) == 0 {
+		t.Fatal("no findings in JSON")
+	}
+	for _, f := range doc.Findings {
+		if f.Code == "" || f.Severity == "" || f.Analyzer == "" || f.Line == 0 || f.Col == 0 {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	only := runOpts(t, noisy, analysis.Options{Enable: []string{"truncate"}})
+	for _, f := range only.Findings {
+		if f.Analyzer != "truncate" {
+			t.Errorf("enable leak: %+v", f)
+		}
+	}
+	if len(only.Findings) == 0 {
+		t.Error("enable=truncate found nothing")
+	}
+	without := runOpts(t, noisy, analysis.Options{Disable: []string{"race"}})
+	if hasCode(without, analysis.CodeRace) {
+		t.Error("disabled analyzer still reported")
+	}
+	if len(without.Analyzers) != 6 {
+		t.Errorf("analyzers ran: %v", without.Analyzers)
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	_, err := analysis.Run(nil, nil, analysis.Options{Enable: []string{"nope"}})
+	if err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+}
+
+func TestMinSeverityFilter(t *testing.T) {
+	all := runOn(t, noisy)
+	if all.CountBySeverity(source.Warning) == 0 {
+		t.Fatal("fixture produced no warnings")
+	}
+	errsOnly := runOpts(t, noisy, analysis.Options{MinSeverity: source.Error})
+	for _, f := range errsOnly.Findings {
+		if f.Severity < source.Error {
+			t.Errorf("severity filter leak: %+v", f)
+		}
+	}
+}
+
+func TestFindingsSortedBySpan(t *testing.T) {
+	rep := runOn(t, noisy)
+	for i := 1; i < len(rep.Findings); i++ {
+		a, b := rep.Findings[i-1], rep.Findings[i]
+		if a.Span.Start > b.Span.Start {
+			t.Fatalf("findings out of order: %v before %v", a, b)
+		}
+	}
+}
+
+func TestReportHasErrorsContract(t *testing.T) {
+	clean := runOn(t, `(define (main) int64 7)`)
+	if clean.HasErrors() {
+		t.Errorf("clean program has errors: %v", clean.Findings)
+	}
+	bad := runOn(t, `
+	  (external keep (-> ((vector int64)) int64) "keep")
+	  (define (main) int64 7)`)
+	if !bad.HasErrors() {
+		t.Error("FFI001 should be error severity")
+	}
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"bitc/internal/ast"
+	"bitc/internal/source"
+)
+
+// The definit analyzer flags reads of `mutable` locals that happen before
+// the first `set!` when the binding's initialiser is a zero-value
+// placeholder (0, 0.0, #f, ""): the code observes the dummy value, which is
+// almost always a declare-now-assign-later slip. Two idioms are exempt
+// because their placeholder reads are meaningful: self-updates
+// `(set! x (+ x e))`, and loops that assign the variable somewhere in their
+// body (induction variables and accumulators read the previous iteration's
+// value on every pass after the first).
+
+// CodeDefInit is emitted for a placeholder read before first assignment.
+const CodeDefInit = "BITC-INIT001"
+
+var definitAnalyzer = register(&Analyzer{
+	Name:        "definit",
+	Doc:         "definite initialization: mutable locals read before their first set!",
+	Code:        CodeDefInit,
+	PerFunction: true,
+	Run:         runDefInit,
+})
+
+func runDefInit(p *Pass) {
+	for _, body := range p.Fn.Body {
+		ast.Walk(body, func(e ast.Expr) bool {
+			if let, ok := e.(*ast.Let); ok {
+				for _, b := range let.Bindings {
+					if b.Mutable && placeholderInit(b.Init) {
+						checkDefInit(p, b, let.Body)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// placeholderInit recognises literal zero values used as "no value yet".
+func placeholderInit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value == 0
+	case *ast.FloatLit:
+		return e.Value == 0
+	case *ast.BoolLit:
+		return !e.Value
+	case *ast.StringLit:
+		return e.Value == ""
+	}
+	return false
+}
+
+// definitScan walks one binding's scope in evaluation order.
+type definitScan struct {
+	pass     *Pass
+	name     string
+	binding  *ast.Binding
+	reported bool
+}
+
+func checkDefInit(p *Pass, b *ast.Binding, body []ast.Expr) {
+	s := &definitScan{pass: p, name: b.Name, binding: b}
+	assigned := false
+	for _, e := range body {
+		assigned = s.scan(e, assigned)
+		if s.reported {
+			return
+		}
+	}
+}
+
+// scan flags placeholder reads in e given the definitely-assigned state on
+// entry, and returns whether the variable is definitely assigned after e.
+func (s *definitScan) scan(e ast.Expr, assigned bool) bool {
+	if s.reported || e == nil {
+		return assigned
+	}
+	switch e := e.(type) {
+	case *ast.VarRef:
+		if e.Name == s.name && !assigned {
+			s.reported = true
+			s.pass.Report(Finding{
+				Code:     CodeDefInit,
+				Severity: source.Warning,
+				Span:     e.Span(),
+				Message:  "mutable local " + s.name + " is read before its first set!; it still holds its placeholder initialiser",
+				Related: []Related{{
+					Span:    s.binding.Span(),
+					Message: s.name + " declared mutable here with a placeholder value",
+				}},
+			})
+		}
+		return assigned
+	case *ast.Set:
+		if e.Name == s.name {
+			// Self-update idiom: reads of x inside the RHS of (set! x ...)
+			// are deliberate uses of the current value.
+			return true
+		}
+		return s.scan(e.Value, assigned)
+	case *ast.If:
+		assigned = s.scan(e.Cond, assigned)
+		aThen := s.scan(e.Then, assigned)
+		aElse := assigned
+		if e.Else != nil {
+			aElse = s.scan(e.Else, assigned)
+		}
+		return aThen && aElse
+	case *ast.While:
+		return s.scanLoop(e, e.Body, append([]ast.Expr{e.Cond}, e.Body...), assigned)
+	case *ast.DoTimes:
+		assigned = s.scan(e.Count, assigned)
+		if e.Var == s.name {
+			return assigned // dotimes variable shadows
+		}
+		return s.scanLoop(e, e.Body, e.Body, assigned)
+	case *ast.Let:
+		for _, b := range e.Bindings {
+			assigned = s.scan(b.Init, assigned)
+			if b.Name == s.name {
+				return s.scanShadowed(e.Body, assigned)
+			}
+		}
+		for _, b := range e.Body {
+			assigned = s.scan(b, assigned)
+		}
+		return assigned
+	case *ast.Lambda:
+		for _, p := range e.Params {
+			if p.Name == s.name {
+				return assigned
+			}
+		}
+		for _, b := range e.Body {
+			s.scan(b, assigned) // deferred execution: state does not advance
+		}
+		return assigned
+	case *ast.Begin:
+		for _, b := range e.Body {
+			assigned = s.scan(b, assigned)
+		}
+		return assigned
+	case *ast.Call:
+		assigned = s.scan(e.Fn, assigned)
+		for _, a := range e.Args {
+			assigned = s.scan(a, assigned)
+		}
+		return assigned
+	case *ast.Case:
+		assigned = s.scan(e.Scrut, assigned)
+		all := true
+		for _, c := range e.Clauses {
+			a := assigned
+			for _, b := range c.Body {
+				a = s.scan(b, a)
+			}
+			all = all && a
+		}
+		if len(e.Clauses) == 0 {
+			return assigned
+		}
+		return all
+	default:
+		ast.Walk(e, func(sub ast.Expr) bool {
+			if sub == e {
+				return true
+			}
+			assigned = s.scan(sub, assigned)
+			return false
+		})
+		return assigned
+	}
+}
+
+// scanLoop handles While/DoTimes: if the loop assigns the variable anywhere
+// in its body, reads inside are the accumulator/induction idiom (they see
+// the previous iteration's assignment), and the placeholder is the idiom's
+// deliberate base case — so the variable counts as assigned afterwards too.
+func (s *definitScan) scanLoop(loop ast.Expr, body []ast.Expr, walkOrder []ast.Expr, assigned bool) bool {
+	setsVar := false
+	for _, b := range body {
+		ast.Walk(b, func(sub ast.Expr) bool {
+			if set, ok := sub.(*ast.Set); ok && set.Name == s.name {
+				setsVar = true
+			}
+			return true
+		})
+	}
+	if setsVar {
+		return true
+	}
+	for _, b := range walkOrder {
+		assigned = s.scan(b, assigned)
+	}
+	return assigned
+}
+
+// scanShadowed keeps scanning only for completeness once an inner binding
+// shadows the name; reads inside refer to the inner variable.
+func (s *definitScan) scanShadowed(body []ast.Expr, assigned bool) bool {
+	return assigned
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bitc/internal/ast"
+	"bitc/internal/source"
+	"bitc/internal/types"
+)
+
+// Options selects analyzers and controls the driver.
+type Options struct {
+	// Enable restricts the run to the named analyzers (empty = all).
+	Enable []string
+	// Disable removes analyzers from the enabled set.
+	Disable []string
+	// MinSeverity drops findings below the given severity from the report.
+	MinSeverity source.Severity
+	// Parallelism bounds the worker pool; 0 means GOMAXPROCS, 1 forces a
+	// sequential run. Output is identical either way.
+	Parallelism int
+}
+
+// Report is the unified result of one driver run.
+type Report struct {
+	File      *source.File
+	Findings  []Finding
+	Analyzers []string // names of the analyzers that ran, sorted
+}
+
+// CountBySeverity returns how many findings have exactly the given severity.
+func (r *Report) CountBySeverity(sev source.Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any finding is error-severity; this drives the
+// CLI exit-code contract (exit 1 when true).
+func (r *Report) HasErrors() bool { return r.CountBySeverity(source.Error) > 0 }
+
+// Selected resolves Options into the list of analyzers to run.
+func (o Options) Selected() ([]*Analyzer, error) {
+	enabled := map[string]bool{}
+	if len(o.Enable) == 0 {
+		for _, a := range registry {
+			enabled[a.Name] = true
+		}
+	} else {
+		for _, name := range o.Enable {
+			if ByName(name) == nil {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			enabled[name] = true
+		}
+	}
+	for _, name := range o.Disable {
+		if ByName(name) == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		delete(enabled, name)
+	}
+	var out []*Analyzer
+	for _, a := range Registry() { // Registry is name-sorted: stable order
+		if enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// task is one unit of work: an analyzer applied to a function (or to the
+// whole program when fn is nil).
+type task struct {
+	analyzer *Analyzer
+	fn       *ast.DefineFunc
+	slot     int // index into the results slice, fixed before scheduling
+}
+
+// Run executes the selected analyzers over a checked program. Per-function
+// analyzers fan out one task per function; tasks run on a bounded worker
+// pool. Each task writes into its own pre-assigned result slot, and the
+// merged findings are sorted, so the report does not depend on scheduling.
+func Run(prog *ast.Program, info *types.Info, opts Options) (*Report, error) {
+	selected, err := opts.Selected()
+	if err != nil {
+		return nil, err
+	}
+	var funcs []*ast.DefineFunc
+	for _, d := range prog.Defs {
+		if fn, ok := d.(*ast.DefineFunc); ok {
+			funcs = append(funcs, fn)
+		}
+	}
+
+	var tasks []task
+	for _, a := range selected {
+		if a.PerFunction {
+			for _, fn := range funcs {
+				tasks = append(tasks, task{analyzer: a, fn: fn, slot: len(tasks)})
+			}
+		} else {
+			tasks = append(tasks, task{analyzer: a, slot: len(tasks)})
+		}
+	}
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([][]Finding, len(tasks))
+	runTask := func(t task) {
+		pass := &Pass{Prog: prog, Info: info, Fn: t.fn, analyzer: t.analyzer}
+		t.analyzer.Run(pass)
+		results[t.slot] = pass.findings
+	}
+
+	if workers == 1 {
+		for _, t := range tasks {
+			runTask(t)
+		}
+	} else {
+		ch := make(chan task)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				defer wg.Done()
+				for t := range ch {
+					runTask(t)
+				}
+			}()
+		}
+		for _, t := range tasks {
+			ch <- t
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	rep := &Report{File: prog.File}
+	for _, a := range selected {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	for _, fs := range results {
+		for _, f := range fs {
+			if f.Severity >= opts.MinSeverity {
+				rep.Findings = append(rep.Findings, f)
+			}
+		}
+	}
+	SortFindings(rep.Findings)
+	return rep, nil
+}

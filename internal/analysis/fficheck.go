@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"bitc/internal/ast"
+	"bitc/internal/source"
+	"bitc/internal/types"
+)
+
+// The ffi analyzer guards the simulated C ABI (internal/ffi). Three things
+// go wrong at that boundary:
+//
+//   - BITC-FFI001: an external is declared with a parameter or result type
+//     that cannot cross the C ABI by value (structs, vectors, strings,
+//     channels, functions) — those need an explicit marshalling codec;
+//   - BITC-FFI002: an external is called inside an (atomic ...) transaction;
+//     foreign side effects cannot be rolled back when the STM retries;
+//   - BITC-FFI003: a region-allocated value is passed to an external, which
+//     may retain the pointer past the region's dynamic extent (unpinned).
+
+// FFI lint codes.
+const (
+	CodeFFIType   = "BITC-FFI001"
+	CodeFFIAtomic = "BITC-FFI002"
+	CodeFFIRegion = "BITC-FFI003"
+)
+
+var ffiAnalyzer = register(&Analyzer{
+	Name:  "ffi",
+	Doc:   "C-ABI boundary checks: unmarshallable types, externals under STM, unpinned region values",
+	Code:  CodeFFIType,
+	Codes: []string{CodeFFIType, CodeFFIAtomic, CodeFFIRegion},
+	Run:   runFFI,
+})
+
+// cScalar reports whether t can cross the simulated C ABI by value.
+func cScalar(t *types.Type) bool {
+	switch types.Prune(t).Kind {
+	case types.KUnit, types.KBool, types.KChar, types.KInt, types.KFloat:
+		return true
+	}
+	return false
+}
+
+func runFFI(p *Pass) {
+	externals := map[string]bool{}
+	for _, ext := range p.Info.Externals {
+		externals[ext.Name] = true
+		sch, ok := p.Info.Funcs[ext.Name]
+		if !ok {
+			continue
+		}
+		ft := types.Prune(sch.Type)
+		if ft.Kind != types.KFn {
+			continue
+		}
+		for i, pt := range ft.Params {
+			if !cScalar(pt) {
+				p.Reportf(CodeFFIType, source.Error, ext.Span(),
+					"external %s: parameter %d has type %s, which cannot cross the C ABI by value (marshal it through a codec)",
+					ext.Name, i+1, types.Prune(pt))
+			}
+		}
+		if !cScalar(ft.Result) {
+			p.Reportf(CodeFFIType, source.Error, ext.Span(),
+				"external %s: result type %s cannot cross the C ABI by value (marshal it through a codec)",
+				ext.Name, types.Prune(ft.Result))
+		}
+	}
+	if len(externals) == 0 {
+		return
+	}
+
+	w := &ffiWalker{pass: p, externals: externals,
+		funcs: map[string]*ast.DefineFunc{}, memo: map[string]bool{}}
+	for _, d := range p.Prog.Defs {
+		if fn, ok := d.(*ast.DefineFunc); ok {
+			w.funcs[fn.Name] = fn
+		}
+	}
+	for _, d := range p.Prog.Defs {
+		if fn, ok := d.(*ast.DefineFunc); ok {
+			w.walkFunc(fn, false, 0)
+		}
+	}
+}
+
+type ffiWalker struct {
+	pass      *Pass
+	externals map[string]bool
+	funcs     map[string]*ast.DefineFunc
+	memo      map[string]bool
+}
+
+func (w *ffiWalker) walkFunc(fn *ast.DefineFunc, inAtomic bool, depth int) {
+	if depth > 8 {
+		return
+	}
+	key := fn.Name
+	if inAtomic {
+		key += "|atomic"
+	}
+	if w.memo[key] {
+		return
+	}
+	w.memo[key] = true
+	// Region taint is tracked per function: names let-bound to (alloc-in r e)
+	// inside an open (with-region r ...).
+	for _, e := range fn.Body {
+		w.walk(e, fn, inAtomic, nil, depth)
+	}
+}
+
+// regionEnv tracks open regions and names bound to region allocations.
+type regionEnv struct {
+	parent  *regionEnv
+	region  string
+	tainted map[string]bool
+}
+
+// regionOf resolves the region whose allocation flows into e, shallowly.
+func regionOf(e ast.Expr, env *regionEnv) string {
+	switch e := e.(type) {
+	case *ast.AllocIn:
+		return e.Region
+	case *ast.VarRef:
+		for s := env; s != nil; s = s.parent {
+			if s.tainted[e.Name] {
+				return s.region
+			}
+		}
+	case *ast.Begin:
+		if n := len(e.Body); n > 0 {
+			return regionOf(e.Body[n-1], env)
+		}
+	}
+	return ""
+}
+
+func (w *ffiWalker) walk(e ast.Expr, fn *ast.DefineFunc, inAtomic bool, env *regionEnv, depth int) {
+	switch e := e.(type) {
+	case *ast.Atomic:
+		for _, b := range e.Body {
+			w.walk(b, fn, true, env, depth)
+		}
+	case *ast.WithRegion:
+		inner := &regionEnv{parent: env, region: e.Name, tainted: map[string]bool{}}
+		for _, b := range e.Body {
+			w.walk(b, fn, inAtomic, inner, depth)
+		}
+	case *ast.Let:
+		for _, b := range e.Bindings {
+			w.walk(b.Init, fn, inAtomic, env, depth)
+			if r := regionOf(b.Init, env); r != "" {
+				for s := env; s != nil; s = s.parent {
+					if s.region == r {
+						s.tainted[b.Name] = true
+						break
+					}
+				}
+			}
+		}
+		for _, b := range e.Body {
+			w.walk(b, fn, inAtomic, env, depth)
+		}
+	case *ast.Call:
+		if v, ok := e.Fn.(*ast.VarRef); ok {
+			if w.externals[v.Name] {
+				if inAtomic {
+					w.pass.Reportf(CodeFFIAtomic, source.Warning, e.Span(),
+						"external %s called inside an atomic transaction: foreign side effects cannot be rolled back", v.Name)
+				}
+				var regions []string
+				for _, arg := range e.Args {
+					if r := regionOf(arg, env); r != "" && !contains(regions, r) {
+						regions = append(regions, r)
+					}
+				}
+				for _, r := range regions {
+					w.pass.Reportf(CodeFFIRegion, source.Warning, e.Span(),
+						"value allocated in region %s passed to external %s without pinning: the C side may retain it past the region's extent", r, v.Name)
+				}
+			} else if callee := w.funcs[v.Name]; callee != nil {
+				w.walkFunc(callee, inAtomic, depth+1)
+			}
+		}
+		for _, arg := range e.Args {
+			w.walk(arg, fn, inAtomic, env, depth)
+		}
+	case *ast.Spawn:
+		// A spawned thread starts outside any transaction of the parent.
+		w.walk(e.Expr, fn, false, env, depth)
+	default:
+		ast.Walk(e, func(sub ast.Expr) bool {
+			if sub == e {
+				return true
+			}
+			w.walk(sub, fn, inAtomic, env, depth)
+			return false
+		})
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

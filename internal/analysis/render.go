@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"bitc/internal/source"
+)
+
+// Render writes the human-readable report: one line per finding in
+// file:line:col form with the lint code, plus indented related locations
+// and a trailing summary line.
+func (r *Report) Render(w io.Writer) {
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "%s: %s[%s]: %s\n", describe(r.File, f.Span), f.Severity, f.Code, f.Message)
+		for _, rel := range f.Related {
+			fmt.Fprintf(w, "    %s: note: %s\n", describe(r.File, rel.Span), rel.Message)
+		}
+	}
+	fmt.Fprintf(w, "%d findings (%d errors, %d warnings, %d notes) from %s\n",
+		len(r.Findings),
+		r.CountBySeverity(source.Error),
+		r.CountBySeverity(source.Warning),
+		r.CountBySeverity(source.Note),
+		strings.Join(r.Analyzers, ","))
+}
+
+func describe(f *source.File, s source.Span) string {
+	if f == nil || !s.IsValid() {
+		return "<unknown>"
+	}
+	return f.Describe(s.Start)
+}
+
+// jsonFinding is the machine-readable shape of one finding. Field names are
+// part of the CI contract; do not rename casually.
+type jsonFinding struct {
+	Code     string        `json:"code"`
+	Severity string        `json:"severity"`
+	Analyzer string        `json:"analyzer"`
+	File     string        `json:"file"`
+	Line     int           `json:"line"`
+	Col      int           `json:"col"`
+	EndLine  int           `json:"endLine"`
+	EndCol   int           `json:"endCol"`
+	Message  string        `json:"message"`
+	Related  []jsonRelated `json:"related,omitempty"`
+}
+
+type jsonRelated struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+type jsonReport struct {
+	File      string        `json:"file"`
+	Analyzers []string      `json:"analyzers"`
+	Findings  []jsonFinding `json:"findings"`
+	Errors    int           `json:"errors"`
+	Warnings  int           `json:"warnings"`
+	Notes     int           `json:"notes"`
+}
+
+// WriteJSON emits the report as one indented JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	name := ""
+	if r.File != nil {
+		name = r.File.Name
+	}
+	out := jsonReport{
+		File:      name,
+		Analyzers: r.Analyzers,
+		Findings:  []jsonFinding{}, // render [] rather than null for empty
+		Errors:    r.CountBySeverity(source.Error),
+		Warnings:  r.CountBySeverity(source.Warning),
+		Notes:     r.CountBySeverity(source.Note),
+	}
+	for _, f := range r.Findings {
+		jf := jsonFinding{
+			Code:     f.Code,
+			Severity: f.Severity.String(),
+			Analyzer: f.Analyzer,
+			File:     name,
+			Message:  f.Message,
+		}
+		if r.File != nil && f.Span.IsValid() {
+			jf.Line, jf.Col = r.File.Position(f.Span.Start)
+			jf.EndLine, jf.EndCol = r.File.Position(f.Span.End)
+		}
+		for _, rel := range f.Related {
+			jr := jsonRelated{File: name, Message: rel.Message}
+			if r.File != nil && rel.Span.IsValid() {
+				jr.Line, jr.Col = r.File.Position(rel.Span.Start)
+			}
+			jf.Related = append(jf.Related, jr)
+		}
+		out.Findings = append(out.Findings, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

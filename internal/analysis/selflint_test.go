@@ -1,0 +1,82 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bitc/internal/analysis"
+	"bitc/internal/parser"
+	"bitc/internal/source"
+	"bitc/internal/types"
+)
+
+// corpusFiles returns every .bitc program in the golden corpus and the
+// example directory — the self-lint surface.
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	var out []string
+	for _, pattern := range []string{"../core/testdata/*.bitc", "../../examples/progs/*.bitc"} {
+		files, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, files...)
+	}
+	if len(out) == 0 {
+		t.Fatal("no corpus files found")
+	}
+	return out
+}
+
+func analyzeFile(t *testing.T, path string, opts analysis.Options) *analysis.Report {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, diags := parser.Parse(filepath.Base(path), string(src))
+	if diags.HasErrors() {
+		t.Fatalf("%s: parse: %v", path, diags)
+	}
+	info, cdiags := types.Check(prog)
+	if cdiags.HasErrors() {
+		t.Fatalf("%s: check: %v", path, cdiags)
+	}
+	rep, err := analysis.Run(prog, info, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestSelfLintCorpusClean runs the full analyzer suite over every shipped
+// program: none may produce an error-severity finding, and the warnings that
+// do appear must stay stable (the corpus is the regression surface).
+func TestSelfLintCorpusClean(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		rep := analyzeFile(t, path, analysis.Options{})
+		for _, f := range rep.Findings {
+			if f.Severity == source.Error {
+				t.Errorf("%s: error-severity finding: %s %s", path, f.Code, f.Message)
+			}
+		}
+	}
+}
+
+// TestSelfLintDeterminism is the acceptance check that the parallel driver
+// produces byte-identical output to the sequential one on the golden corpus.
+func TestSelfLintDeterminism(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		var seq bytes.Buffer
+		analyzeFile(t, path, analysis.Options{Parallelism: 1}).Render(&seq)
+		for i := 0; i < 5; i++ {
+			var par bytes.Buffer
+			analyzeFile(t, path, analysis.Options{}).Render(&par)
+			if par.String() != seq.String() {
+				t.Fatalf("%s: parallel output differs:\n--- seq\n%s--- par\n%s", path, seq.String(), par.String())
+			}
+		}
+	}
+}

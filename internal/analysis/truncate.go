@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"math/big"
+
+	"bitc/internal/ast"
+	"bitc/internal/source"
+	"bitc/internal/types"
+)
+
+// The truncate analyzer flags explicit-width casts that can lose bits. It is
+// flow-insensitive but carries a "value-range lite": literals, masked
+// values, remainders, and nested casts get tight ranges, everything else the
+// full range of its type — so (cast uint8 (bitand x 0xFF)) is clean while
+// (cast uint8 x) on an int64 x is flagged.
+
+// Truncation lint codes.
+const (
+	CodeTruncate   = "BITC-TRUNC001" // integer cast may discard significant bits
+	CodeFloatTrunc = "BITC-TRUNC002" // float-to-int cast discards the fraction
+)
+
+var truncateAnalyzer = register(&Analyzer{
+	Name:        "truncate",
+	Doc:         "explicit-width casts that can lose bits (value-range lite)",
+	Code:        CodeTruncate,
+	Codes:       []string{CodeTruncate, CodeFloatTrunc},
+	PerFunction: true,
+	Run:         runTruncate,
+})
+
+func runTruncate(p *Pass) {
+	for _, body := range p.Fn.Body {
+		ast.Walk(body, func(e ast.Expr) bool {
+			cast, ok := e.(*ast.Cast)
+			if !ok {
+				return true
+			}
+			src := p.Info.TypeOf(cast.Expr)
+			dst := p.Info.TypeOf(cast)
+			switch {
+			case src.Kind == types.KFloat && dst.Kind == types.KInt:
+				p.Reportf(CodeFloatTrunc, source.Note, cast.Span(),
+					"cast from %s to %s discards the fractional part and may overflow", src, dst)
+			case intLike(src) && intLike(dst):
+				sr := rangeOfExpr(p.Info, cast.Expr)
+				dr := typeRange(dst)
+				if sr == nil || dr == nil {
+					return true
+				}
+				if sr.lo.Cmp(dr.lo) < 0 || sr.hi.Cmp(dr.hi) > 0 {
+					p.Reportf(CodeTruncate, source.Warning, cast.Span(),
+						"cast from %s to %s may truncate: source range [%s, %s] exceeds target range [%s, %s]",
+						src, dst, sr.lo, sr.hi, dr.lo, dr.hi)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func intLike(t *types.Type) bool {
+	return t.Kind == types.KInt || t.Kind == types.KChar
+}
+
+// valueRange is a closed interval of possible values.
+type valueRange struct {
+	lo, hi *big.Int
+}
+
+func newRange(lo, hi *big.Int) *valueRange { return &valueRange{lo: lo, hi: hi} }
+
+func within(inner, outer *valueRange) bool {
+	return inner.lo.Cmp(outer.lo) >= 0 && inner.hi.Cmp(outer.hi) <= 0
+}
+
+// typeRange returns the representable interval of an integer-like type.
+func typeRange(t *types.Type) *valueRange {
+	switch t.Kind {
+	case types.KChar:
+		return newRange(big.NewInt(0), big.NewInt(0x10FFFF))
+	case types.KInt:
+		bits := t.Bits
+		if bits == 0 {
+			bits = 64
+		}
+		one := big.NewInt(1)
+		if t.Signed {
+			hi := new(big.Int).Lsh(one, uint(bits-1))
+			lo := new(big.Int).Neg(hi)
+			return newRange(lo, new(big.Int).Sub(hi, one))
+		}
+		hi := new(big.Int).Lsh(one, uint(bits))
+		return newRange(big.NewInt(0), new(big.Int).Sub(hi, one))
+	}
+	return nil
+}
+
+// rangeOfExpr computes a conservative interval for e, or nil when e's type
+// is not integer-like.
+func rangeOfExpr(info *types.Info, e ast.Expr) *valueRange {
+	t := types.Prune(info.TypeOf(e))
+	full := typeRange(t)
+	switch e := e.(type) {
+	case *ast.IntLit:
+		v := big.NewInt(e.Value)
+		return newRange(v, v)
+	case *ast.CharLit:
+		v := big.NewInt(int64(e.Value))
+		return newRange(v, v)
+	case *ast.Cast:
+		inner := rangeOfExpr(info, e.Expr)
+		if inner != nil && full != nil && within(inner, full) {
+			return inner // value preserved by the cast
+		}
+		return full
+	case *ast.Begin:
+		if n := len(e.Body); n > 0 {
+			if r := rangeOfExpr(info, e.Body[n-1]); r != nil {
+				return r
+			}
+		}
+		return full
+	case *ast.Call:
+		if r := builtinRange(info, e); r != nil {
+			return r
+		}
+		return full
+	}
+	return full
+}
+
+// builtinRange narrows the result of masking/remainder/shift builtins with
+// literal operands.
+func builtinRange(info *types.Info, call *ast.Call) *valueRange {
+	v, ok := call.Fn.(*ast.VarRef)
+	if !ok || len(call.Args) != 2 {
+		return nil
+	}
+	lit, ok := call.Args[1].(*ast.IntLit)
+	if !ok {
+		return nil
+	}
+	argT := types.Prune(info.TypeOf(call.Args[0]))
+	switch v.Name {
+	case "bitand":
+		if lit.Value >= 0 {
+			return newRange(big.NewInt(0), big.NewInt(lit.Value))
+		}
+	case "mod":
+		if lit.Value > 0 {
+			hi := big.NewInt(lit.Value - 1)
+			if argT.Kind == types.KInt && argT.Signed {
+				return newRange(new(big.Int).Neg(hi), hi)
+			}
+			return newRange(big.NewInt(0), hi)
+		}
+	case "shr":
+		if full := typeRange(argT); full != nil && lit.Value >= 0 && lit.Value < 64 &&
+			argT.Kind == types.KInt && !argT.Signed {
+			return newRange(big.NewInt(0), new(big.Int).Rsh(full.hi, uint(lit.Value)))
+		}
+	}
+	return nil
+}

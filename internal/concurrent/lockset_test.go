@@ -170,3 +170,66 @@ func TestRecursionTerminates(t *testing.T) {
 		t.Fatal("race through recursion missed")
 	}
 }
+
+// --- Edge cases the analysis-driver adapter must preserve ---
+
+// Per-field granularity: a field that is only ever read may be shared freely
+// even while a sibling field of the same global is written under a lock.
+func TestReadOnlyFieldNextToLockedWrites(t *testing.T) {
+	rep := analyze(t, `
+	  (defstruct pair (ro int64) (rw int64))
+	  (define shared pair (make pair :ro 7 :rw 0))
+	  (define (reader) int64 (field shared ro))
+	  (define (writer) unit (with-lock m (set-field! shared rw 1)))
+	  (define (main) unit
+	    (let ((t1 (spawn (reader))) (t2 (spawn (reader))) (t3 (spawn (writer))))
+	      (join t1) (join t2) (join t3)))`)
+	if len(rep.Races) != 0 {
+		t.Fatalf("read-only field flagged: %v", rep.Races[0])
+	}
+}
+
+// Atomic serialises only against other atomics: an atomic writer and a
+// lock-holding writer have disjoint locksets and still race.
+func TestAtomicVsLockStillRaces(t *testing.T) {
+	rep := analyze(t, counterHeader+`
+	  (define (a) unit (atomic (set-field! counter v 1)))
+	  (define (b) unit (with-lock m (set-field! counter v 2)))
+	  (define (main) unit
+	    (let ((t1 (spawn (a))) (t2 (spawn (b))))
+	      (join t1) (join t2)))`)
+	if len(rep.Races) == 0 {
+		t.Fatal("atomic-vs-lock conflict missed")
+	}
+}
+
+// Mixed atomic writers do not race with each other even without locks.
+func TestAtomicVsAtomicNoRace(t *testing.T) {
+	rep := analyze(t, counterHeader+`
+	  (define (a) unit (atomic (set-field! counter v 1)))
+	  (define (b) unit (atomic (set-field! counter v 2)))
+	  (define (main) unit
+	    (let ((t1 (spawn (a))) (t2 (spawn (b))))
+	      (join t1) (join t2)))`)
+	if len(rep.Races) != 0 {
+		t.Fatalf("two atomics flagged: %v", rep.Races[0])
+	}
+}
+
+// Accesses in code never reachable from a spawn site cannot race: a helper
+// called only from main (single-threaded) and an uncalled function both
+// write unsynchronised, yet no pair is concurrent.
+func TestNeverSpawnedAccessesNoRace(t *testing.T) {
+	rep := analyze(t, counterHeader+`
+	  (define (helper) unit (set-field! counter v 1))
+	  (define (deadcode) unit (set-field! counter v 2))
+	  (define (main) unit
+	    (helper)
+	    (set-field! counter v 3))`)
+	if len(rep.Races) != 0 {
+		t.Fatalf("non-concurrent accesses flagged: %v", rep.Races[0])
+	}
+	if len(rep.Accesses) == 0 {
+		t.Fatal("accesses should still be recorded for reporting")
+	}
+}

@@ -1,6 +1,7 @@
 // Package core is bitc's public API: one call to load (parse, type-check,
 // compile, optimise) a program, and methods to run it on the VM, verify its
-// contracts, check region escapes, analyse races, and inspect layouts and IR.
+// contracts, run the unified static-analysis suite, and inspect layouts
+// and IR.
 //
 // This is the surface a downstream user of the reproduction works against;
 // the cmd/ tools and examples/ are all thin wrappers over it.
@@ -10,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"bitc/internal/analysis"
 	"bitc/internal/ast"
 	"bitc/internal/compiler"
 	"bitc/internal/concurrent"
@@ -115,6 +117,13 @@ func (p *Program) RunFunc(name string, args ...vm.Value) (vm.Value, *vm.VM, erro
 // Verify generates and discharges every verification condition.
 func (p *Program) Verify(opts verify.Options) *verify.Report {
 	return verify.Program(p.AST, p.Info, opts)
+}
+
+// Analyze runs the unified static-analysis driver (lockset races, region
+// escapes, deadlock ordering, definite initialization, truncating casts,
+// dead stores, FFI boundary) and returns the combined findings.
+func (p *Program) Analyze(opts analysis.Options) (*analysis.Report, error) {
+	return analysis.Run(p.AST, p.Info, opts)
 }
 
 // CheckRegions runs the static region-escape analysis.

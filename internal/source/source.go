@@ -174,6 +174,26 @@ func (d *Diagnostics) Warnf(span Span, format string, args ...any) {
 	d.Add(Warning, span, format, args...)
 }
 
+// Sort orders the diagnostics deterministically: by span start, span end,
+// then decreasing severity, then message. Producers that collect diagnostics
+// concurrently (the parallel analysis driver) rely on this to render stable
+// output regardless of scheduling order.
+func (d *Diagnostics) Sort() {
+	sort.SliceStable(d.List, func(i, j int) bool {
+		a, b := d.List[i], d.List[j]
+		if a.Span.Start != b.Span.Start {
+			return a.Span.Start < b.Span.Start
+		}
+		if a.Span.End != b.Span.End {
+			return a.Span.End < b.Span.End
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		return a.Message < b.Message
+	})
+}
+
 // HasErrors reports whether any diagnostic is an error.
 func (d *Diagnostics) HasErrors() bool {
 	for _, dg := range d.List {
@@ -187,8 +207,10 @@ func (d *Diagnostics) HasErrors() bool {
 // Len returns the number of diagnostics.
 func (d *Diagnostics) Len() int { return len(d.List) }
 
-// Error renders all diagnostics, one per line, satisfying the error interface.
+// Error renders all diagnostics, one per line, satisfying the error
+// interface. The bag is sorted first so rendering is deterministic.
 func (d *Diagnostics) Error() string {
+	d.Sort()
 	var b strings.Builder
 	for i, dg := range d.List {
 		if i > 0 {

@@ -154,3 +154,46 @@ func TestPositionMatchesNaiveScan(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDiagnosticsSortDeterministic: diagnostics added in any order render
+// identically — by span, then severity (errors first), then message.
+func TestDiagnosticsSortDeterministic(t *testing.T) {
+	f := NewFile("s.bitc", "line one\nline two\nline three\n")
+	build := func(order []int) *Diagnostics {
+		all := []Diagnostic{
+			{Severity: Warning, Span: MakeSpan(12, 15), Message: "later span"},
+			{Severity: Note, Span: MakeSpan(2, 5), Message: "note at two"},
+			{Severity: Error, Span: MakeSpan(2, 5), Message: "error at two"},
+			{Severity: Warning, Span: MakeSpan(2, 5), Message: "warning at two"},
+			{Severity: Error, Span: MakeSpan(2, 8), Message: "wider error at two"},
+		}
+		d := NewDiagnostics(f)
+		for _, i := range order {
+			d.List = append(d.List, all[i])
+		}
+		return d
+	}
+	want := build([]int{0, 1, 2, 3, 4}).Error()
+	perms := [][]int{
+		{4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 3},
+		{1, 4, 0, 3, 2},
+	}
+	for _, p := range perms {
+		if got := build(p).Error(); got != want {
+			t.Errorf("order %v renders differently:\n got %q\nwant %q", p, got, want)
+		}
+	}
+}
+
+// TestDiagnosticsSortOrdering pins the exact ordering contract.
+func TestDiagnosticsSortOrdering(t *testing.T) {
+	d := NewDiagnostics(NewFile("s.bitc", "text"))
+	d.Warnf(MakeSpan(9, 10), "w-late")
+	d.Errorf(MakeSpan(1, 2), "e-early")
+	d.Add(Note, MakeSpan(1, 2), "n-early")
+	d.Sort()
+	if d.List[0].Message != "e-early" || d.List[1].Message != "n-early" || d.List[2].Message != "w-late" {
+		t.Errorf("sorted order wrong: %+v", d.List)
+	}
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Repo hygiene gate: formatting, vet, build, tests, then the static-analysis
+# self-lint over the shipped example programs. CI runs `make check`, which is
+# this script.
+set -e
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:"
+    echo "$fmt"
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+
+# Self-lint: every example program must analyze with zero error-severity
+# findings. `bitc analyze` exits 1 on errors; the JSON is also checked so a
+# regression in the exit-code contract cannot mask findings.
+go build -o /tmp/bitc-check ./cmd/bitc
+for f in examples/progs/*.bitc; do
+    out=$(/tmp/bitc-check analyze -json "$f")
+    errs=$(printf '%s' "$out" | sed -n 's/^  "errors": \([0-9]*\).*/\1/p')
+    if [ "$errs" != "0" ]; then
+        echo "$f: $errs error-severity findings"
+        printf '%s\n' "$out"
+        exit 1
+    fi
+    echo "analyze $f: 0 errors"
+done
+rm -f /tmp/bitc-check
+
+echo "check: all green"
