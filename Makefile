@@ -1,9 +1,12 @@
 # Convenience entry points; `make check` is the CI gate.
 
-.PHONY: check test bench
+.PHONY: check test bench lint-baseline
 
 check:
 	sh scripts/check.sh
+
+lint-baseline:
+	sh scripts/update-lint-baseline.sh
 
 test:
 	go build ./... && go test ./...

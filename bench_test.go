@@ -90,6 +90,57 @@ func BenchmarkE7Representation(b *testing.B) { runAll(b, "E7") }
 // under three disciplines plus the static verdicts.
 func BenchmarkE8SharedState(b *testing.B) { runAll(b, "E8") }
 
+// BenchmarkAnalysisInterproc breaks analyzer cost down by machinery tier
+// over the golden corpus plus the pinned example workloads: the PR-1 style
+// syntactic walks (ffi, escape), the CFG+dataflow passes (definit,
+// deadstore, truncate), the interprocedural summary passes (race, deadlock),
+// and the full suite. The deltas between tiers are the price of
+// flow-sensitivity and of whole-program summaries respectively.
+func BenchmarkAnalysisInterproc(b *testing.B) {
+	files, err := filepath.Glob("internal/core/testdata/*.bitc")
+	if err != nil || len(files) == 0 {
+		b.Fatalf("no corpus: %v", err)
+	}
+	pinned, err := filepath.Glob("internal/core/testdata/analyze/*.bitc")
+	if err != nil || len(pinned) == 0 {
+		b.Fatalf("no pinned examples: %v", err)
+	}
+	files = append(files, pinned...)
+	var progs []*core.Program
+	for _, path := range files {
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			b.Fatal(rerr)
+		}
+		progs = append(progs, core.MustLoad(filepath.Base(path), string(src), core.DefaultConfig))
+	}
+	tiers := []struct {
+		name   string
+		enable []string
+	}{
+		{"syntactic", []string{"ffi", "escape"}},
+		{"cfg-dataflow", []string{"definit", "deadstore", "truncate"}},
+		{"interproc", []string{"race", "deadlock"}},
+		{"full", nil},
+	}
+	for _, tier := range tiers {
+		b.Run(tier.name, func(b *testing.B) {
+			findings := 0
+			for i := 0; i < b.N; i++ {
+				findings = 0
+				for _, p := range progs {
+					rep, aerr := p.Analyze(analysis.Options{Enable: tier.enable, Parallelism: 1})
+					if aerr != nil {
+						b.Fatal(aerr)
+					}
+					findings += len(rep.Findings)
+				}
+			}
+			b.ReportMetric(float64(findings), "findings/run")
+		})
+	}
+}
+
 // BenchmarkAnalysisDriver measures static-analyzer throughput over the
 // golden corpus: the full seven-analyzer suite under the sequential driver
 // vs the bounded parallel worker pool. Findings-per-run is reported so a

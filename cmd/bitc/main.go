@@ -68,13 +68,15 @@ func run(args []string) error {
 	entry := fs.String("entry", "main", "entry function for run")
 	noBounds := fs.Bool("no-bounds", false, "verify: skip vector bounds obligations")
 	noDivZero := fs.Bool("no-divzero", false, "verify: skip division-by-zero obligations")
-	jsonOut := fs.Bool("json", false, "analyze: emit machine-readable JSON findings")
+	jsonOut := fs.Bool("json", false, "analyze: shorthand for -format json")
+	format := fs.String("format", "", "analyze: output format (pretty|json|sarif)")
+	strict := fs.Bool("strict", false, "analyze: list findings muted by suppress forms / bitc:ignore comments")
 	enable := fs.String("enable", "", "analyze: comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "analyze: comma-separated analyzers to skip")
 	minSev := fs.String("severity", "note", "analyze: minimum severity to report (note|warning|error)")
 	if cmd == "analyze" {
 		fs.Usage = func() {
-			fmt.Fprintln(os.Stderr, "usage: bitc analyze [-json] [-enable LIST] [-disable LIST] [-severity S] <file>")
+			fmt.Fprintln(os.Stderr, "usage: bitc analyze [-format pretty|json|sarif] [-strict] [-enable LIST] [-disable LIST] [-severity S] <file>")
 			fmt.Fprintln(os.Stderr, "exit status: 1 when any error-severity finding is reported")
 			fs.PrintDefaults()
 			fmt.Fprintln(os.Stderr, "\navailable analyzers:")
@@ -147,7 +149,7 @@ func run(args []string) error {
 		return nil
 
 	case "analyze":
-		opts := analysis.Options{}
+		opts := analysis.Options{Strict: *strict}
 		if *enable != "" {
 			opts.Enable = strings.Split(*enable, ",")
 		}
@@ -164,16 +166,31 @@ func run(args []string) error {
 		default:
 			return fmt.Errorf("unknown -severity %q (want note, warning, or error)", *minSev)
 		}
+		outFormat := *format
+		if outFormat == "" {
+			if *jsonOut {
+				outFormat = "json"
+			} else {
+				outFormat = "pretty"
+			}
+		}
 		rep, err := prog.Analyze(opts)
 		if err != nil {
 			return err
 		}
-		if *jsonOut {
+		switch outFormat {
+		case "json":
 			if err := rep.WriteJSON(os.Stdout); err != nil {
 				return err
 			}
-		} else {
+		case "sarif":
+			if err := rep.WriteSARIF(os.Stdout); err != nil {
+				return err
+			}
+		case "pretty":
 			rep.Render(os.Stdout)
+		default:
+			return fmt.Errorf("unknown -format %q (want pretty, json, or sarif)", outFormat)
 		}
 		if rep.HasErrors() {
 			return fmt.Errorf("analysis reported %d error-severity findings", rep.CountBySeverity(source.Error))

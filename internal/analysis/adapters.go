@@ -4,15 +4,17 @@ import (
 	"fmt"
 	"strings"
 
-	"bitc/internal/concurrent"
 	"bitc/internal/regions"
 	"bitc/internal/source"
 )
 
-// The race and escape analyzers adapt the two pre-existing analysis islands
-// (internal/concurrent's lockset pass and internal/regions' escape checker)
-// onto the unified driver. Both are whole-program: races need cross-function
-// spawn reachability and escapes are reported per definition anyway.
+// The race analyzer reports the conflicting access pairs the interprocedural
+// summary engine derives (see summary.go): Eraser-style lockset pairing over
+// accesses reachable from entry points, with helper calls resolved through
+// bottom-up summaries instead of a depth-bounded inline walk. The escape
+// analyzer adapts internal/regions' checker onto the unified driver. Both
+// are whole-program: races need cross-function spawn reachability and
+// escapes are reported per definition anyway.
 
 // CodeRace is emitted for a lockset race between two shared accesses.
 const CodeRace = "BITC-RACE001"
@@ -21,12 +23,12 @@ const CodeRace = "BITC-RACE001"
 const CodeEscape = "BITC-ESCAPE001"
 
 var raceAnalyzer = register(&Analyzer{
-	Name: "race",
-	Doc:  "lockset analysis: shared fields accessed from concurrent threads with disjoint locksets",
-	Code: CodeRace,
+	Name:           "race",
+	Doc:            "lockset analysis via bottom-up function summaries: shared fields accessed from concurrent threads with disjoint locksets",
+	Code:           CodeRace,
+	NeedsSummaries: true,
 	Run: func(p *Pass) {
-		rep := concurrent.Analyze(p.Prog, p.Info)
-		for _, r := range rep.Races {
+		for _, r := range p.Summaries.Races {
 			p.Report(Finding{
 				Code:     CodeRace,
 				Severity: source.Warning,

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"bitc/internal/ast"
+	"bitc/internal/cfg"
 	"bitc/internal/source"
 	"bitc/internal/types"
 )
@@ -34,9 +35,13 @@ type Finding struct {
 
 // Related points at a second location that participates in a finding (the
 // other access of a race, the reverse lock acquisition of a deadlock, ...).
+// File names the file the span belongs to when it differs from the primary
+// finding's file ("" means same file); renderers must include it so related
+// locations stay meaningful in multi-file reports.
 type Related struct {
 	Span    source.Span
 	Message string
+	File    string
 }
 
 // Pass carries the inputs of one analyzer invocation and collects its
@@ -48,9 +53,23 @@ type Pass struct {
 	// Fn is the function under analysis for per-function analyzers, nil for
 	// whole-program analyzers.
 	Fn *ast.DefineFunc
+	// Summaries is the interprocedural summary set, populated by the driver
+	// before any analyzer with NeedsSummaries runs.
+	Summaries *Summaries
 
+	cfgs     map[*ast.DefineFunc]*cfg.Graph
 	analyzer *Analyzer
 	findings []Finding
+}
+
+// CFG returns the control-flow graph of fn (or of p.Fn when fn is nil). The
+// driver prebuilds graphs for every function when a selected analyzer sets
+// NeedsCFG; the graphs are shared read-only across concurrent passes.
+func (p *Pass) CFG(fn *ast.DefineFunc) *cfg.Graph {
+	if fn == nil {
+		fn = p.Fn
+	}
+	return p.cfgs[fn]
 }
 
 // Report appends a finding, stamping the analyzer name.
@@ -77,7 +96,13 @@ type Analyzer struct {
 	// Codes lists every lint code this analyzer can emit, for help output.
 	Codes       []string
 	PerFunction bool
-	Run         func(*Pass)
+	// NeedsCFG asks the driver to prebuild per-function control-flow graphs
+	// before this analyzer runs; NeedsSummaries asks for the interprocedural
+	// function summaries (computed bottom-up over call-graph SCCs). Both are
+	// computed once per driver run and shared by every dependent pass.
+	NeedsCFG       bool
+	NeedsSummaries bool
+	Run            func(*Pass)
 }
 
 // registry holds every known analyzer in registration order.

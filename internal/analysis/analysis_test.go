@@ -153,6 +153,176 @@ func TestFindingsSortedBySpan(t *testing.T) {
 	}
 }
 
+func TestSuppressForm(t *testing.T) {
+	rep := runOn(t, `
+	  (define (f (x int64)) uint8
+	    (suppress "BITC-TRUNC001" (cast uint8 x)))`)
+	if hasCode(rep, analysis.CodeTruncate) {
+		t.Fatalf("suppressed finding still reported: %v", rep.Findings)
+	}
+	if len(rep.Suppressed) != 1 || rep.Suppressed[0].Code != analysis.CodeTruncate {
+		t.Fatalf("suppressed list = %v", rep.Suppressed)
+	}
+}
+
+func TestSuppressFormWrongCodeStillReports(t *testing.T) {
+	rep := runOn(t, `
+	  (define (f (x int64)) uint8
+	    (suppress "BITC-DEAD001" (cast uint8 x)))`)
+	if !hasCode(rep, analysis.CodeTruncate) {
+		t.Fatalf("unrelated suppression muted the finding: %v", codesOf(rep))
+	}
+	if len(rep.Suppressed) != 0 {
+		t.Fatalf("nothing should be suppressed: %v", rep.Suppressed)
+	}
+}
+
+func TestSuppressCommentDirective(t *testing.T) {
+	// A standalone comment directive applies to the next line; an inline one
+	// to its own line.
+	rep := runOn(t, `(define (f (x int64)) uint8
+  ; bitc:ignore BITC-TRUNC001
+  (cast uint8 x))`)
+	if hasCode(rep, analysis.CodeTruncate) {
+		t.Fatalf("comment directive ignored: %v", rep.Findings)
+	}
+	if len(rep.Suppressed) != 1 {
+		t.Fatalf("suppressed list = %v", rep.Suppressed)
+	}
+	inline := runOn(t, `(define (f (x int64)) uint8
+  (cast uint8 x)) ; bitc:ignore BITC-TRUNC001`)
+	if hasCode(inline, analysis.CodeTruncate) || len(inline.Suppressed) != 1 {
+		t.Fatalf("inline directive ignored: %v / %v", inline.Findings, inline.Suppressed)
+	}
+}
+
+func TestStrictRenderListsSuppressed(t *testing.T) {
+	src := `
+	  (define (f (x int64)) uint8
+	    (suppress "BITC-TRUNC001" (cast uint8 x)))`
+	quiet := runOn(t, src)
+	var qb bytes.Buffer
+	quiet.Render(&qb)
+	if !strings.Contains(qb.String(), "1 findings suppressed") {
+		t.Errorf("suppressed count missing:\n%s", qb.String())
+	}
+	if strings.Contains(qb.String(), "suppressed[BITC-TRUNC001]") {
+		t.Errorf("non-strict run lists suppressed findings:\n%s", qb.String())
+	}
+	strict := runOpts(t, src, analysis.Options{Strict: true})
+	var sb bytes.Buffer
+	strict.Render(&sb)
+	if !strings.Contains(sb.String(), "suppressed[BITC-TRUNC001]") {
+		t.Errorf("strict run does not list suppressed findings:\n%s", sb.String())
+	}
+	var jb bytes.Buffer
+	if err := strict.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Suppressed         int               `json:"suppressed"`
+		SuppressedFindings []json.RawMessage `json:"suppressedFindings"`
+	}
+	if err := json.Unmarshal(jb.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Suppressed != 1 || len(doc.SuppressedFindings) != 1 {
+		t.Errorf("strict JSON: %+v", doc)
+	}
+}
+
+func TestSARIFOutputValid(t *testing.T) {
+	rep := runOn(t, noisy)
+	var buf bytes.Buffer
+	if err := rep.WriteSARIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid SARIF: %v\n%s", err, buf.String())
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("bad SARIF envelope: version=%q runs=%d", doc.Version, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "bitc" || len(run.Tool.Driver.Rules) == 0 {
+		t.Errorf("driver: %+v", run.Tool.Driver)
+	}
+	if len(run.Results) != len(rep.Findings) {
+		t.Fatalf("results = %d, findings = %d", len(run.Results), len(rep.Findings))
+	}
+	for _, res := range run.Results {
+		if res.RuleID == "" || res.Level == "" || len(res.Locations) == 0 {
+			t.Errorf("incomplete result: %+v", res)
+		}
+		loc := res.Locations[0]
+		if loc.PhysicalLocation.ArtifactLocation.URI != "t.bitc" || loc.PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("bad location: %+v", loc)
+		}
+	}
+}
+
+func TestRelatedForeignFileKeepsName(t *testing.T) {
+	rep := runOn(t, noisy)
+	var f *analysis.Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Code == analysis.CodeRace && len(rep.Findings[i].Related) > 0 {
+			f = &rep.Findings[i]
+			break
+		}
+	}
+	if f == nil {
+		t.Fatal("no race finding with related span")
+	}
+	// Simulate a related span from another compilation unit.
+	f.Related[0].File = "other.bitc"
+	var pb bytes.Buffer
+	rep.Render(&pb)
+	if !strings.Contains(pb.String(), "other.bitc") {
+		t.Errorf("pretty output drops foreign related file:\n%s", pb.String())
+	}
+	var jb bytes.Buffer
+	if err := rep.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jb.String(), `"file": "other.bitc"`) {
+		t.Errorf("JSON output drops foreign related file:\n%s", jb.String())
+	}
+	var sb bytes.Buffer
+	if err := rep.WriteSARIF(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"uri": "other.bitc"`) {
+		t.Errorf("SARIF output drops foreign related file:\n%s", sb.String())
+	}
+}
+
 func TestReportHasErrorsContract(t *testing.T) {
 	clean := runOn(t, `(define (main) int64 7)`)
 	if clean.HasErrors() {

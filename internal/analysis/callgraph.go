@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"sort"
+
+	"bitc/internal/ast"
+)
+
+// CallGraph records which defined functions call which others. Calls are
+// collected from everywhere in a function body, including lambda and spawn
+// bodies (the closure may run later, but the callee relationship holds for
+// summary purposes). Only calls to functions defined in the program appear;
+// builtins are ignored.
+type CallGraph struct {
+	Funcs map[string]*ast.DefineFunc
+	Names []string // sorted function names
+	// Callees[f] lists the defined functions f calls, sorted, deduplicated.
+	Callees map[string][]string
+	// CalledByOther[f] reports that some function other than f calls f
+	// (self-recursion does not count); the complement set is the entry
+	// points the race analysis walks.
+	CalledByOther map[string]bool
+}
+
+// BuildCallGraph scans a program's function bodies.
+func BuildCallGraph(prog *ast.Program) *CallGraph {
+	g := &CallGraph{
+		Funcs:         map[string]*ast.DefineFunc{},
+		Callees:       map[string][]string{},
+		CalledByOther: map[string]bool{},
+	}
+	for _, d := range prog.Defs {
+		if fn, ok := d.(*ast.DefineFunc); ok {
+			g.Funcs[fn.Name] = fn
+			g.Names = append(g.Names, fn.Name)
+		}
+	}
+	sort.Strings(g.Names)
+	for _, name := range g.Names {
+		fn := g.Funcs[name]
+		seen := map[string]bool{}
+		for _, body := range fn.Body {
+			ast.Walk(body, func(e ast.Expr) bool {
+				if call, ok := e.(*ast.Call); ok {
+					if v, ok := call.Fn.(*ast.VarRef); ok && g.Funcs[v.Name] != nil {
+						if !seen[v.Name] {
+							seen[v.Name] = true
+							g.Callees[name] = append(g.Callees[name], v.Name)
+						}
+						if v.Name != name {
+							g.CalledByOther[v.Name] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		sort.Strings(g.Callees[name])
+	}
+	return g
+}
+
+// SCCs returns the strongly connected components of the call graph in
+// bottom-up (reverse topological) order: every callee SCC precedes its
+// callers, so summaries computed in this order only depend on finished ones
+// — except within an SCC, where the summary engine iterates to a fixpoint.
+// The result is deterministic: roots are visited in sorted name order.
+func (g *CallGraph) SCCs() [][]string {
+	// Tarjan's algorithm; components pop in reverse topological order of the
+	// condensation because a caller's component cannot complete before its
+	// callees' components have been emitted.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.Callees[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, name := range g.Names {
+		if _, seen := index[name]; !seen {
+			strongconnect(name)
+		}
+	}
+	return sccs
+}

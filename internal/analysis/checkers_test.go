@@ -171,6 +171,67 @@ func TestDeadlockInterprocedural(t *testing.T) {
 	}
 }
 
+func TestRaceSecondAccessInHelper(t *testing.T) {
+	// The spawned thread's write happens two calls deep; the summary-based
+	// analysis must surface it against main's direct write, with the helper's
+	// access as the related span.
+	rep := runOn(t, counterHeader+`
+	  (define (store-it) unit (set-field! counter v 2))
+	  (define (worker) unit (store-it))
+	  (define (main) unit
+	    (let ((t1 (spawn (worker))))
+	      (set-field! counter v 1)
+	      (join t1)))`)
+	if !hasCode(rep, analysis.CodeRace) {
+		t.Fatalf("interprocedural race missed: %v", codesOf(rep))
+	}
+	for _, f := range rep.Findings {
+		if f.Code == analysis.CodeRace {
+			if len(f.Related) == 0 {
+				t.Error("race finding has no related span")
+			}
+			if !strings.Contains(f.Message, "counter.v") {
+				t.Errorf("message = %q", f.Message)
+			}
+		}
+	}
+}
+
+func TestRaceHelperLockNegative(t *testing.T) {
+	// Same shape, but the helper's write is guarded by the same lock as
+	// main's: summaries must propagate the callee's lockset.
+	rep := runOn(t, counterHeader+`
+	  (define (store-it) unit (with-lock m (set-field! counter v 2)))
+	  (define (worker) unit (store-it))
+	  (define (main) unit
+	    (let ((t1 (spawn (worker))))
+	      (with-lock m (set-field! counter v 1))
+	      (join t1)))`)
+	if hasCode(rep, analysis.CodeRace) {
+		t.Fatalf("false interprocedural race: %v", rep.Findings)
+	}
+}
+
+func TestDeadlockCycleAcrossTwoFunctions(t *testing.T) {
+	// Each half of the a->b / b->a cycle spans a caller/callee pair; the
+	// finding must carry the reverse-order site as a related span.
+	rep := runOn(t, counterHeader+`
+	  (define (take-b) unit (with-lock b (set-field! counter v 1)))
+	  (define (take-a) unit (with-lock a (set-field! counter v 2)))
+	  (define (ab) unit (with-lock a (take-b)))
+	  (define (ba) unit (with-lock b (take-a)))
+	  (define (main) unit
+	    (begin (ab) (ba)))`)
+	if !hasCode(rep, analysis.CodeLockOrder) {
+		t.Fatalf("two-function lock cycle missed: %v", codesOf(rep))
+	}
+	for _, f := range rep.Findings {
+		if f.Code == analysis.CodeLockOrder && len(f.Related) == 0 {
+			t.Error("cycle finding lacks the reverse-order related span")
+		}
+	}
+}
+
 func TestDeadlockSelfAcquire(t *testing.T) {
 	rep := runOn(t, counterHeader+`
 	  (define (f) unit
@@ -323,6 +384,55 @@ func TestTruncateFloatNote(t *testing.T) {
 		if f.Code == analysis.CodeFloatTrunc && f.Severity != source.Note {
 			t.Errorf("float trunc severity = %v, want note", f.Severity)
 		}
+	}
+}
+
+func TestTruncateBranchRefinedNegative(t *testing.T) {
+	// Inside the guards x is known to lie in [0, 255], so the narrowing
+	// cast cannot truncate.
+	rep := runOn(t, `
+	  (define (f (x int64)) uint8
+	    (if (< x 256)
+	        (if (>= x 0) (cast uint8 x) (cast uint8 0))
+	        (cast uint8 0)))`)
+	if hasCode(rep, analysis.CodeTruncate) {
+		t.Fatalf("branch-refined cast flagged: %v", rep.Findings)
+	}
+}
+
+func TestTruncateBranchTooWidePositive(t *testing.T) {
+	// The guard narrows x, but not enough for the target type.
+	rep := runOn(t, `
+	  (define (f (x int64)) uint8
+	    (if (< x 1000)
+	        (if (>= x 0) (cast uint8 x) (cast uint8 0))
+	        (cast uint8 0)))`)
+	if !hasCode(rep, analysis.CodeTruncate) {
+		t.Fatalf("under-narrowed cast not reported: %v", codesOf(rep))
+	}
+}
+
+func TestTruncateAndGuardNegative(t *testing.T) {
+	// Refinement looks through short-circuit conjunctions on the true edge.
+	rep := runOn(t, `
+	  (define (f (x int64)) uint8
+	    (if (and (>= x 0) (< x 256))
+	        (cast uint8 x)
+	        (cast uint8 0)))`)
+	if hasCode(rep, analysis.CodeTruncate) {
+		t.Fatalf("and-guarded cast flagged: %v", rep.Findings)
+	}
+}
+
+func TestTruncateAssignedRangeNegative(t *testing.T) {
+	// The last assignment dominates the cast and its value fits.
+	rep := runOn(t, `
+	  (define (f (x int64)) uint8
+	    (let ((mutable y 0))
+	      (set! y (bitand x 127))
+	      (cast uint8 y)))`)
+	if hasCode(rep, analysis.CodeTruncate) {
+		t.Fatalf("range-assigned cast flagged: %v", rep.Findings)
 	}
 }
 

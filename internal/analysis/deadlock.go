@@ -3,18 +3,17 @@ package analysis
 import (
 	"fmt"
 	"sort"
-	"strings"
 
-	"bitc/internal/ast"
 	"bitc/internal/source"
 )
 
-// The deadlock analyzer extends the lockset machinery with lock *ordering*:
-// it builds a directed graph with an edge a→b wherever lock b is acquired
-// while a is held (following calls interprocedurally), then reports every
-// pair of locks reachable from each other — the classic ABBA inversion — and
-// every re-acquisition of a lock already held (self-deadlock for the
-// non-reentrant locks the VM provides).
+// The deadlock analyzer reports lock *ordering* violations from the summary
+// engine's whole-program lock graph (see summary.go): an edge a→b exists
+// wherever lock b is acquired while a is held — including through any chain
+// of helper calls, since call sites instantiate the callee's acquisition
+// summary. It reports every pair of locks reachable from each other — the
+// classic ABBA inversion — and every re-acquisition of a lock already held
+// (self-deadlock for the non-reentrant locks the VM provides).
 
 // Deadlock lint codes.
 const (
@@ -23,69 +22,36 @@ const (
 )
 
 var deadlockAnalyzer = register(&Analyzer{
-	Name:  "deadlock",
-	Doc:   "lock-order graph with cycle detection (ABBA inversions, re-entrant acquisition)",
-	Code:  CodeLockOrder,
-	Codes: []string{CodeLockOrder, CodeLockSelf},
-	Run:   runDeadlock,
+	Name:           "deadlock",
+	Doc:            "lock-order graph with cycle detection (ABBA inversions, re-entrant acquisition), interprocedural via function summaries",
+	Code:           CodeLockOrder,
+	Codes:          []string{CodeLockOrder, CodeLockSelf},
+	NeedsSummaries: true,
+	Run:            runDeadlock,
 })
 
-// lockEdge remembers where an ordered acquisition was first seen.
-type lockEdge struct {
-	span source.Span
-	fn   string
-}
-
-type lockGraph struct {
-	funcs map[string]*ast.DefineFunc
-	// edges[a][b] is the first site where b was acquired under a.
-	edges map[string]map[string]lockEdge
-	memo  map[string]bool
-	// self[a] is the first site where a was re-acquired while held.
-	self map[string]lockEdge
-}
-
 func runDeadlock(p *Pass) {
-	g := &lockGraph{
-		funcs: map[string]*ast.DefineFunc{},
-		edges: map[string]map[string]lockEdge{},
-		memo:  map[string]bool{},
-		self:  map[string]lockEdge{},
-	}
-	for _, d := range p.Prog.Defs {
-		if fn, ok := d.(*ast.DefineFunc); ok {
-			g.funcs[fn.Name] = fn
-		}
-	}
-	// Every function is a potential entry point for ordering purposes: a
-	// caller that pre-holds a lock contributes its own edges when walked.
-	names := make([]string, 0, len(g.funcs))
-	for name := range g.funcs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		g.walkFunc(g.funcs[name], nil, 0)
-	}
+	edges := p.Summaries.LockEdges
+	self := p.Summaries.LockSelf
 
-	// Re-acquisition findings first (they are also trivial cycles, and we
-	// suppress the a→a edge from the inversion pass below).
-	selfLocks := make([]string, 0, len(g.self))
-	for lock := range g.self {
+	// Re-acquisition findings first (they are also trivial cycles, and the
+	// a→a edge never enters the inversion pass below).
+	selfLocks := make([]string, 0, len(self))
+	for lock := range self {
 		selfLocks = append(selfLocks, lock)
 	}
 	sort.Strings(selfLocks)
 	for _, lock := range selfLocks {
-		e := g.self[lock]
-		p.Reportf(CodeLockSelf, source.Error, e.span,
-			"lock %s acquired in %s while already held (non-reentrant: self-deadlock)", lock, e.fn)
+		e := self[lock]
+		p.Reportf(CodeLockSelf, source.Error, e.Span,
+			"lock %s acquired in %s while already held (non-reentrant: self-deadlock)", lock, e.Fn)
 	}
 
 	// Reachability closure over the edge graph, then report each unordered
 	// pair {a,b} with paths both ways exactly once.
-	locks := make([]string, 0, len(g.edges))
+	locks := make([]string, 0, len(edges))
 	seen := map[string]bool{}
-	for a, outs := range g.edges {
+	for a, outs := range edges {
 		if !seen[a] {
 			seen[a] = true
 			locks = append(locks, a)
@@ -101,7 +67,7 @@ func runDeadlock(p *Pass) {
 	reach := map[string]map[string]bool{}
 	for _, a := range locks {
 		reach[a] = map[string]bool{}
-		for b := range g.edges[a] {
+		for b := range edges[a] {
 			reach[a][b] = true
 		}
 	}
@@ -120,16 +86,16 @@ func runDeadlock(p *Pass) {
 	for i, a := range locks {
 		for _, b := range locks[i+1:] {
 			if reach[a][b] && reach[b][a] {
-				fwd, rev := g.firstEdgeOnCycle(a, b), g.firstEdgeOnCycle(b, a)
+				fwd, rev := firstEdgeOnCycle(edges, a, b), firstEdgeOnCycle(edges, b, a)
 				p.Report(Finding{
 					Code:     CodeLockOrder,
 					Severity: source.Warning,
-					Span:     fwd.span,
+					Span:     fwd.Span,
 					Message: fmt.Sprintf("locks %s and %s are acquired in inconsistent order (possible deadlock); %s-then-%s in %s",
-						a, b, a, b, fwd.fn),
+						a, b, a, b, fwd.Fn),
 					Related: []Related{{
-						Span:    rev.span,
-						Message: fmt.Sprintf("%s-then-%s in %s", b, a, rev.fn),
+						Span:    rev.Span,
+						Message: fmt.Sprintf("%s-then-%s in %s", b, a, rev.Fn),
 					}},
 				})
 			}
@@ -139,27 +105,27 @@ func runDeadlock(p *Pass) {
 
 // firstEdgeOnCycle returns the recorded site of the a→b edge, or, when the
 // path is indirect, the first outgoing edge of a on some path to b.
-func (g *lockGraph) firstEdgeOnCycle(a, b string) lockEdge {
-	if e, ok := g.edges[a][b]; ok {
+func firstEdgeOnCycle(edges map[string]map[string]LockSite, a, b string) LockSite {
+	if e, ok := edges[a][b]; ok {
 		return e
 	}
 	// BFS for a path a→…→b, preferring deterministic (sorted) expansion.
 	type node struct {
 		lock  string
-		first *lockEdge
+		first *LockSite
 	}
 	queue := []node{{lock: a}}
 	visited := map[string]bool{a: true}
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
-		outs := make([]string, 0, len(g.edges[n.lock]))
-		for next := range g.edges[n.lock] {
+		outs := make([]string, 0, len(edges[n.lock]))
+		for next := range edges[n.lock] {
 			outs = append(outs, next)
 		}
 		sort.Strings(outs)
 		for _, next := range outs {
-			e := g.edges[n.lock][next]
+			e := edges[n.lock][next]
 			first := n.first
 			if first == nil {
 				first = &e
@@ -173,66 +139,5 @@ func (g *lockGraph) firstEdgeOnCycle(a, b string) lockEdge {
 			}
 		}
 	}
-	return lockEdge{}
-}
-
-func (g *lockGraph) walkFunc(fn *ast.DefineFunc, held []string, depth int) {
-	if depth > 8 {
-		return
-	}
-	key := fn.Name + "|" + strings.Join(held, "\x00")
-	if g.memo[key] {
-		return
-	}
-	g.memo[key] = true
-	for _, e := range fn.Body {
-		g.walk(e, fn, held, depth)
-	}
-}
-
-func (g *lockGraph) walk(e ast.Expr, fn *ast.DefineFunc, held []string, depth int) {
-	switch e := e.(type) {
-	case *ast.WithLock:
-		reacquired := false
-		for _, h := range held {
-			if h == e.Lock {
-				reacquired = true
-				if _, ok := g.self[e.Lock]; !ok {
-					g.self[e.Lock] = lockEdge{span: e.Span(), fn: fn.Name}
-				}
-			} else if _, ok := g.edges[h][e.Lock]; !ok {
-				if g.edges[h] == nil {
-					g.edges[h] = map[string]lockEdge{}
-				}
-				g.edges[h][e.Lock] = lockEdge{span: e.Span(), fn: fn.Name}
-			}
-		}
-		inner := held
-		if !reacquired {
-			inner = append(append([]string{}, held...), e.Lock)
-		}
-		for _, b := range e.Body {
-			g.walk(b, fn, inner, depth)
-		}
-	case *ast.Spawn:
-		// A spawned thread starts with an empty lockset.
-		g.walk(e.Expr, fn, nil, depth)
-	case *ast.Call:
-		if v, ok := e.Fn.(*ast.VarRef); ok {
-			if callee := g.funcs[v.Name]; callee != nil {
-				g.walkFunc(callee, held, depth+1)
-			}
-		}
-		for _, arg := range e.Args {
-			g.walk(arg, fn, held, depth)
-		}
-	default:
-		ast.Walk(e, func(sub ast.Expr) bool {
-			if sub == e {
-				return true
-			}
-			g.walk(sub, fn, held, depth)
-			return false
-		})
-	}
+	return LockSite{}
 }

@@ -1,20 +1,25 @@
 package analysis
 
 import (
+	"sort"
 	"strings"
 
-	"bitc/internal/ast"
+	"bitc/internal/cfg"
+	"bitc/internal/dataflow"
 	"bitc/internal/source"
 )
 
 // The deadstore analyzer finds two flavours of wasted work:
 //
-//   - BITC-DEAD001: a (set! x e) whose stored value can never be read —
-//     restricted to assignments at the top level of the let body that binds
-//     x, with no later read of x in that body, so the verdict is exact;
+//   - BITC-DEAD001: a (set! x e) whose stored value can never be read,
+//     decided by backward liveness over the function's CFG — the store is
+//     dead exactly when x is not live immediately after it on any path;
 //   - BITC-DEAD002: a let binding that is never used at all (or a mutable
-//     binding that is written but never read).
+//     binding that is written but never read), decided by counting use/def
+//     atoms of the alpha-renamed local (so shadowing never miscounts).
 //
+// Variables captured by a lambda or spawn are exempt from DEAD001: the
+// closure can run after any store, so no store to them is provably dead.
 // Names starting with '_' are exempt by convention.
 
 // Dead-code lint codes.
@@ -25,168 +30,96 @@ const (
 
 var deadstoreAnalyzer = register(&Analyzer{
 	Name:        "deadstore",
-	Doc:         "dead stores and unused let bindings",
+	Doc:         "liveness-based dead stores and unused let bindings",
 	Code:        CodeDeadStore,
 	Codes:       []string{CodeDeadStore, CodeUnusedBinding},
 	PerFunction: true,
+	NeedsCFG:    true,
 	Run:         runDeadStore,
 })
 
 func runDeadStore(p *Pass) {
-	for _, body := range p.Fn.Body {
-		ast.Walk(body, func(e ast.Expr) bool {
-			if let, ok := e.(*ast.Let); ok {
-				checkLet(p, let)
+	g := p.CFG(nil)
+
+	// Per-variable counts over the whole graph: reads (any non-WriteRef
+	// use, including the read half of a self-update), writes (set!s, plus
+	// captured set!s emitted as WriteRef uses), and capture flags.
+	reads := map[string]int{}
+	writes := map[string]int{}
+	captured := map[string]bool{}
+	for _, b := range g.Blocks {
+		for _, a := range b.Atoms {
+			switch a.Op {
+			case cfg.OpUse:
+				if a.Deferred {
+					captured[a.Name] = true
+				}
+				if a.WriteRef {
+					writes[a.Name]++
+				} else {
+					reads[a.Name]++
+				}
+			case cfg.OpDef:
+				writes[a.Name]++
 			}
-			return true
-		})
+		}
+	}
+
+	// Unused bindings.
+	for _, name := range sortedDeclNames(g) {
+		d := g.Decls[name]
+		if d.Kind != cfg.DeclLet || strings.HasPrefix(d.Src, "_") {
+			continue
+		}
+		switch {
+		case reads[name] == 0 && writes[name] == 0:
+			p.Reportf(CodeUnusedBinding, source.Warning, d.Binding.Span(),
+				"binding %s is never used", d.Src)
+		case reads[name] == 0 && writes[name] > 0:
+			p.Reportf(CodeUnusedBinding, source.Warning, d.Binding.Span(),
+				"mutable binding %s is assigned but never read", d.Src)
+		}
+	}
+
+	// Dead stores: replay each block backward from its solved exit-live set
+	// and flag defs whose value is dead. Reported only for let-bound
+	// variables (parameter stores stay out of scope, as before), and only
+	// when the variable is read somewhere — a never-read variable already
+	// gets the clearer DEAD002 above.
+	live := dataflow.Liveness(g)
+	for _, b := range g.Blocks {
+		after := make([]dataflow.NameSet, len(b.Atoms))
+		l := live.In[b.Index].Clone()
+		for i := len(b.Atoms) - 1; i >= 0; i-- {
+			after[i] = l.Clone()
+			l = dataflow.LivenessStep(l, b.Atoms[i])
+		}
+		for i, a := range b.Atoms {
+			if a.Op != cfg.OpDef {
+				continue
+			}
+			d := g.Decls[a.Name]
+			if d == nil || d.Kind != cfg.DeclLet || strings.HasPrefix(d.Src, "_") {
+				continue
+			}
+			if captured[a.Name] || reads[a.Name] == 0 {
+				continue
+			}
+			if !after[i].Has(a.Name) {
+				p.Reportf(CodeDeadStore, source.Warning, a.Expr.Span(),
+					"value stored to %s is never read", d.Src)
+			}
+		}
 	}
 }
 
-func checkLet(p *Pass, let *ast.Let) {
-	bound := map[string]*ast.Binding{}
-	for _, b := range let.Bindings {
-		bound[b.Name] = b
+func sortedDeclNames(g *cfg.Graph) []string {
+	out := make([]string, 0, len(g.Decls))
+	for name := range g.Decls {
+		out = append(out, name)
 	}
-
-	// Unused bindings: no read anywhere in the body or in later bindings'
-	// initialisers. Writes via set! are not reads, which distinguishes
-	// "assigned but never read" from "never used".
-	for i, b := range let.Bindings {
-		if strings.HasPrefix(b.Name, "_") {
-			continue
-		}
-		reads, writes := 0, 0
-		var scan func(e ast.Expr)
-		scan = func(e ast.Expr) {
-			switch e := e.(type) {
-			case *ast.VarRef:
-				if e.Name == b.Name {
-					reads++
-				}
-			case *ast.Set:
-				if e.Name == b.Name {
-					writes++
-				}
-				scan(e.Value)
-			case *ast.Let:
-				// An inner binding of the same name shadows: its body's uses
-				// belong to the inner variable.
-				shadows := false
-				for _, inner := range e.Bindings {
-					scan(inner.Init)
-					if inner.Name == b.Name {
-						shadows = true
-					}
-				}
-				if !shadows {
-					for _, s := range e.Body {
-						scan(s)
-					}
-				}
-			case *ast.DoTimes:
-				scan(e.Count)
-				if e.Var != b.Name {
-					for _, s := range e.Body {
-						scan(s)
-					}
-				}
-			case *ast.Lambda:
-				for _, p := range e.Params {
-					if p.Name == b.Name {
-						return
-					}
-				}
-				for _, s := range e.Body {
-					scan(s)
-				}
-			default:
-				ast.Walk(e, func(sub ast.Expr) bool {
-					if sub == e {
-						return true
-					}
-					scan(sub)
-					return false
-				})
-			}
-		}
-		for _, later := range let.Bindings[i+1:] {
-			scan(later.Init)
-		}
-		for _, e := range let.Body {
-			scan(e)
-		}
-		switch {
-		case reads == 0 && writes == 0:
-			p.Reportf(CodeUnusedBinding, source.Warning, b.Span(),
-				"binding %s is never used", b.Name)
-		case reads == 0 && writes > 0:
-			p.Reportf(CodeUnusedBinding, source.Warning, b.Span(),
-				"mutable binding %s is assigned but never read", b.Name)
-		}
-	}
-
-	// Dead stores: a top-level (set! x e) statement in the body of the let
-	// binding x, with no read of x in any later statement. Skipped entirely
-	// when a lambda or spawned expression in the body captures x, since that
-	// code can run after any statement.
-	captured := map[string]bool{}
-	for _, e := range let.Body {
-		ast.Walk(e, func(sub ast.Expr) bool {
-			var deferred []ast.Expr
-			switch sub := sub.(type) {
-			case *ast.Lambda:
-				deferred = sub.Body
-			case *ast.Spawn:
-				deferred = []ast.Expr{sub.Expr}
-			default:
-				return true
-			}
-			for _, d := range deferred {
-				ast.Walk(d, func(inner ast.Expr) bool {
-					if v, ok := inner.(*ast.VarRef); ok && bound[v.Name] != nil {
-						captured[v.Name] = true
-					}
-					return true
-				})
-			}
-			return true
-		})
-	}
-	for i, stmt := range let.Body {
-		set, ok := stmt.(*ast.Set)
-		if !ok || bound[set.Name] == nil || captured[set.Name] || strings.HasPrefix(set.Name, "_") {
-			continue
-		}
-		readLater := false
-		for _, later := range let.Body[i+1:] {
-			// A later top-level (set! x e) whose RHS does not read x is a
-			// definite overwrite: scanning stops and the store is dead.
-			if kill, ok := later.(*ast.Set); ok && kill.Name == set.Name {
-				readsSelf := false
-				ast.Walk(kill.Value, func(sub ast.Expr) bool {
-					if v, ok := sub.(*ast.VarRef); ok && v.Name == set.Name {
-						readsSelf = true
-					}
-					return true
-				})
-				if !readsSelf {
-					break
-				}
-			}
-			ast.Walk(later, func(sub ast.Expr) bool {
-				if v, ok := sub.(*ast.VarRef); ok && v.Name == set.Name {
-					readLater = true
-				}
-				return true
-			})
-			if readLater {
-				break
-			}
-		}
-		if !readLater {
-			p.Reportf(CodeDeadStore, source.Warning, set.Span(),
-				"value stored to %s is never read", set.Name)
-		}
-	}
+	// Sorting by name is enough for determinism; the driver re-sorts
+	// findings by span anyway.
+	sort.Strings(out)
+	return out
 }

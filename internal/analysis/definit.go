@@ -1,41 +1,126 @@
 package analysis
 
 import (
+	"sort"
+
 	"bitc/internal/ast"
+	"bitc/internal/cfg"
+	"bitc/internal/dataflow"
 	"bitc/internal/source"
 )
 
 // The definit analyzer flags reads of `mutable` locals that happen before
 // the first `set!` when the binding's initialiser is a zero-value
 // placeholder (0, 0.0, #f, ""): the code observes the dummy value, which is
-// almost always a declare-now-assign-later slip. Two idioms are exempt
-// because their placeholder reads are meaningful: self-updates
-// `(set! x (+ x e))`, and loops that assign the variable somewhere in their
-// body (induction variables and accumulators read the previous iteration's
-// value on every pass after the first).
+// almost always a declare-now-assign-later slip.
+//
+// It is a definite-assignment dataflow problem over the function's CFG
+// (forward, must, intersection at joins): a read is flagged only when some
+// path from the declaration reaches it without a set!, so assigning in both
+// arms of an `if` — or in every case clause — counts, while assigning in
+// only one arm does not. Two idioms are exempt because their placeholder
+// reads are meaningful: self-updates `(set! x (+ x e))`, and loops that
+// assign the variable somewhere in their body (induction variables and
+// accumulators read the previous iteration's value on every pass after the
+// first), which are encoded by force-assigning the variable at the loop
+// header.
 
 // CodeDefInit is emitted for a placeholder read before first assignment.
 const CodeDefInit = "BITC-INIT001"
 
 var definitAnalyzer = register(&Analyzer{
 	Name:        "definit",
-	Doc:         "definite initialization: mutable locals read before their first set!",
+	Doc:         "flow-sensitive definite initialization: mutable locals read before their first set!",
 	Code:        CodeDefInit,
 	PerFunction: true,
+	NeedsCFG:    true,
 	Run:         runDefInit,
 })
 
 func runDefInit(p *Pass) {
-	for _, body := range p.Fn.Body {
-		ast.Walk(body, func(e ast.Expr) bool {
-			if let, ok := e.(*ast.Let); ok {
-				for _, b := range let.Bindings {
-					if b.Mutable && placeholderInit(b.Init) {
-						checkDefInit(p, b, let.Body)
-					}
+	g := p.CFG(nil)
+	tracked := dataflow.NameSet{}
+	for name, d := range g.Decls {
+		if d.Kind == cfg.DeclLet && d.Binding != nil && d.Binding.Mutable && placeholderInit(d.Binding.Init) {
+			tracked[name] = struct{}{}
+		}
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Placeholder initialisers do not count as assignments; any other
+	// declaration of a tracked-by-name variable (shadowing) does.
+	prob := dataflow.NewMustAssign(tracked, func(d *cfg.Decl) bool {
+		return !tracked.Has(d.Name)
+	})
+
+	// Loop exemption: a variable assigned anywhere in a loop (including via
+	// a captured set! in a closure built there) is force-assigned at the
+	// loop header, so reads inside and after the loop see the accumulator
+	// idiom, while reads before the loop are still checked.
+	extra := map[int]dataflow.NameSet{}
+	for _, head := range g.Blocks {
+		if head.Loop == nil {
+			continue
+		}
+		assigns := dataflow.NameSet{}
+		for _, lb := range g.LoopBlocks(head) {
+			for _, a := range lb.Atoms {
+				if !tracked.Has(a.Name) {
+					continue
+				}
+				if a.Op == cfg.OpDef || (a.Op == cfg.OpUse && a.WriteRef) {
+					assigns[a.Name] = struct{}{}
 				}
 			}
-			return true
+		}
+		if len(assigns) > 0 {
+			extra[head.Index] = assigns
+		}
+	}
+	prob.Extra = extra
+
+	res := dataflow.Solve[dataflow.NameSet](g, prob)
+
+	// Replay each block from its solved entry fact and record the earliest
+	// unassigned read per variable.
+	bad := map[string]source.Span{}
+	for _, b := range g.Blocks {
+		assigned := res.In[b.Index].Clone()
+		if ex := extra[b.Index]; ex != nil {
+			for k := range ex {
+				assigned[k] = struct{}{}
+			}
+		}
+		for _, a := range b.Atoms {
+			if a.Op == cfg.OpUse && tracked.Has(a.Name) &&
+				!a.WriteRef && !a.SelfUpdate && !assigned.Has(a.Name) {
+				sp := a.Expr.Span()
+				if old, ok := bad[a.Name]; !ok || sp.Start < old.Start {
+					bad[a.Name] = sp
+				}
+			}
+			assigned = prob.Step(assigned, a)
+		}
+	}
+
+	names := make([]string, 0, len(bad))
+	for name := range bad {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := g.Decls[name]
+		p.Report(Finding{
+			Code:     CodeDefInit,
+			Severity: source.Warning,
+			Span:     bad[name],
+			Message:  "mutable local " + d.Src + " is read before its first set!; it still holds its placeholder initialiser",
+			Related: []Related{{
+				Span:    d.Binding.Span(),
+				Message: d.Src + " declared mutable here with a placeholder value",
+			}},
 		})
 	}
 }
@@ -53,155 +138,4 @@ func placeholderInit(e ast.Expr) bool {
 		return e.Value == ""
 	}
 	return false
-}
-
-// definitScan walks one binding's scope in evaluation order.
-type definitScan struct {
-	pass     *Pass
-	name     string
-	binding  *ast.Binding
-	reported bool
-}
-
-func checkDefInit(p *Pass, b *ast.Binding, body []ast.Expr) {
-	s := &definitScan{pass: p, name: b.Name, binding: b}
-	assigned := false
-	for _, e := range body {
-		assigned = s.scan(e, assigned)
-		if s.reported {
-			return
-		}
-	}
-}
-
-// scan flags placeholder reads in e given the definitely-assigned state on
-// entry, and returns whether the variable is definitely assigned after e.
-func (s *definitScan) scan(e ast.Expr, assigned bool) bool {
-	if s.reported || e == nil {
-		return assigned
-	}
-	switch e := e.(type) {
-	case *ast.VarRef:
-		if e.Name == s.name && !assigned {
-			s.reported = true
-			s.pass.Report(Finding{
-				Code:     CodeDefInit,
-				Severity: source.Warning,
-				Span:     e.Span(),
-				Message:  "mutable local " + s.name + " is read before its first set!; it still holds its placeholder initialiser",
-				Related: []Related{{
-					Span:    s.binding.Span(),
-					Message: s.name + " declared mutable here with a placeholder value",
-				}},
-			})
-		}
-		return assigned
-	case *ast.Set:
-		if e.Name == s.name {
-			// Self-update idiom: reads of x inside the RHS of (set! x ...)
-			// are deliberate uses of the current value.
-			return true
-		}
-		return s.scan(e.Value, assigned)
-	case *ast.If:
-		assigned = s.scan(e.Cond, assigned)
-		aThen := s.scan(e.Then, assigned)
-		aElse := assigned
-		if e.Else != nil {
-			aElse = s.scan(e.Else, assigned)
-		}
-		return aThen && aElse
-	case *ast.While:
-		return s.scanLoop(e, e.Body, append([]ast.Expr{e.Cond}, e.Body...), assigned)
-	case *ast.DoTimes:
-		assigned = s.scan(e.Count, assigned)
-		if e.Var == s.name {
-			return assigned // dotimes variable shadows
-		}
-		return s.scanLoop(e, e.Body, e.Body, assigned)
-	case *ast.Let:
-		for _, b := range e.Bindings {
-			assigned = s.scan(b.Init, assigned)
-			if b.Name == s.name {
-				return s.scanShadowed(e.Body, assigned)
-			}
-		}
-		for _, b := range e.Body {
-			assigned = s.scan(b, assigned)
-		}
-		return assigned
-	case *ast.Lambda:
-		for _, p := range e.Params {
-			if p.Name == s.name {
-				return assigned
-			}
-		}
-		for _, b := range e.Body {
-			s.scan(b, assigned) // deferred execution: state does not advance
-		}
-		return assigned
-	case *ast.Begin:
-		for _, b := range e.Body {
-			assigned = s.scan(b, assigned)
-		}
-		return assigned
-	case *ast.Call:
-		assigned = s.scan(e.Fn, assigned)
-		for _, a := range e.Args {
-			assigned = s.scan(a, assigned)
-		}
-		return assigned
-	case *ast.Case:
-		assigned = s.scan(e.Scrut, assigned)
-		all := true
-		for _, c := range e.Clauses {
-			a := assigned
-			for _, b := range c.Body {
-				a = s.scan(b, a)
-			}
-			all = all && a
-		}
-		if len(e.Clauses) == 0 {
-			return assigned
-		}
-		return all
-	default:
-		ast.Walk(e, func(sub ast.Expr) bool {
-			if sub == e {
-				return true
-			}
-			assigned = s.scan(sub, assigned)
-			return false
-		})
-		return assigned
-	}
-}
-
-// scanLoop handles While/DoTimes: if the loop assigns the variable anywhere
-// in its body, reads inside are the accumulator/induction idiom (they see
-// the previous iteration's assignment), and the placeholder is the idiom's
-// deliberate base case — so the variable counts as assigned afterwards too.
-func (s *definitScan) scanLoop(loop ast.Expr, body []ast.Expr, walkOrder []ast.Expr, assigned bool) bool {
-	setsVar := false
-	for _, b := range body {
-		ast.Walk(b, func(sub ast.Expr) bool {
-			if set, ok := sub.(*ast.Set); ok && set.Name == s.name {
-				setsVar = true
-			}
-			return true
-		})
-	}
-	if setsVar {
-		return true
-	}
-	for _, b := range walkOrder {
-		assigned = s.scan(b, assigned)
-	}
-	return assigned
-}
-
-// scanShadowed keeps scanning only for completeness once an inner binding
-// shadows the name; reads inside refer to the inner variable.
-func (s *definitScan) scanShadowed(body []ast.Expr, assigned bool) bool {
-	return assigned
 }

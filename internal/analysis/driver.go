@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"bitc/internal/ast"
+	"bitc/internal/cfg"
 	"bitc/internal/source"
 	"bitc/internal/types"
 )
@@ -21,13 +22,21 @@ type Options struct {
 	// Parallelism bounds the worker pool; 0 means GOMAXPROCS, 1 forces a
 	// sequential run. Output is identical either way.
 	Parallelism int
+	// Strict makes renderers list each suppressed finding instead of only
+	// the suppressed count, for audits of what a codebase is muting.
+	Strict bool
 }
 
 // Report is the unified result of one driver run.
 type Report struct {
-	File      *source.File
-	Findings  []Finding
-	Analyzers []string // names of the analyzers that ran, sorted
+	File     *source.File
+	Findings []Finding
+	// Suppressed holds findings muted by (suppress ...) forms or
+	// `; bitc:ignore` comments, in the same deterministic order as Findings.
+	// They never affect the exit code.
+	Suppressed []Finding
+	Analyzers  []string // names of the analyzers that ran, sorted
+	Strict     bool     // copied from Options.Strict for the renderers
 }
 
 // CountBySeverity returns how many findings have exactly the given severity.
@@ -99,6 +108,25 @@ func Run(prog *ast.Program, info *types.Info, opts Options) (*Report, error) {
 		}
 	}
 
+	// Shared prerequisites are computed once, sequentially, before the pool
+	// starts: function summaries must exist before any interprocedural pass
+	// runs, and CFGs are shared read-only by every flow-sensitive pass. Both
+	// are deterministic, so they do not disturb the byte-identical-report
+	// guarantee.
+	var cfgs map[*ast.DefineFunc]*cfg.Graph
+	var summaries *Summaries
+	for _, a := range selected {
+		if a.NeedsCFG && cfgs == nil {
+			cfgs = make(map[*ast.DefineFunc]*cfg.Graph, len(funcs))
+			for _, fn := range funcs {
+				cfgs[fn] = cfg.Build(fn)
+			}
+		}
+		if a.NeedsSummaries && summaries == nil {
+			summaries = ComputeSummaries(prog, info)
+		}
+	}
+
 	var tasks []task
 	for _, a := range selected {
 		if a.PerFunction {
@@ -123,7 +151,10 @@ func Run(prog *ast.Program, info *types.Info, opts Options) (*Report, error) {
 
 	results := make([][]Finding, len(tasks))
 	runTask := func(t task) {
-		pass := &Pass{Prog: prog, Info: info, Fn: t.fn, analyzer: t.analyzer}
+		pass := &Pass{
+			Prog: prog, Info: info, Fn: t.fn,
+			Summaries: summaries, cfgs: cfgs, analyzer: t.analyzer,
+		}
 		t.analyzer.Run(pass)
 		results[t.slot] = pass.findings
 	}
@@ -151,17 +182,50 @@ func Run(prog *ast.Program, info *types.Info, opts Options) (*Report, error) {
 		wg.Wait()
 	}
 
-	rep := &Report{File: prog.File}
+	rep := &Report{File: prog.File, Strict: opts.Strict}
 	for _, a := range selected {
 		rep.Analyzers = append(rep.Analyzers, a.Name)
 	}
 	for _, fs := range results {
 		for _, f := range fs {
-			if f.Severity >= opts.MinSeverity {
+			if f.Severity < opts.MinSeverity {
+				continue
+			}
+			if suppressed(prog, f) {
+				rep.Suppressed = append(rep.Suppressed, f)
+			} else {
 				rep.Findings = append(rep.Findings, f)
 			}
 		}
 	}
 	SortFindings(rep.Findings)
+	SortFindings(rep.Suppressed)
 	return rep, nil
+}
+
+// suppressed reports whether a directive in the program mutes this finding:
+// either a (suppress "CODE" expr) form whose span contains the finding, or a
+// `; bitc:ignore CODE` comment targeting the finding's line. Codes match
+// exactly — suppressing BITC-DEAD001 does not mute BITC-DEAD002.
+func suppressed(prog *ast.Program, f Finding) bool {
+	if len(prog.Suppressions) == 0 || !f.Span.IsValid() {
+		return false
+	}
+	line := 0
+	for _, s := range prog.Suppressions {
+		if s.Code != f.Code {
+			continue
+		}
+		if s.Line > 0 {
+			if line == 0 && prog.File != nil {
+				line, _ = prog.File.Position(f.Span.Start)
+			}
+			if line == s.Line {
+				return true
+			}
+		} else if s.Span.IsValid() && f.Span.Start >= s.Span.Start && f.Span.Start <= s.Span.End {
+			return true
+		}
+	}
+	return false
 }

@@ -16,7 +16,12 @@ func (r *Report) Render(w io.Writer) {
 	for _, f := range r.Findings {
 		fmt.Fprintf(w, "%s: %s[%s]: %s\n", describe(r.File, f.Span), f.Severity, f.Code, f.Message)
 		for _, rel := range f.Related {
-			fmt.Fprintf(w, "    %s: note: %s\n", describe(r.File, rel.Span), rel.Message)
+			fmt.Fprintf(w, "    %s: note: %s\n", describeRelated(r.File, rel), rel.Message)
+		}
+	}
+	if r.Strict {
+		for _, f := range r.Suppressed {
+			fmt.Fprintf(w, "%s: suppressed[%s]: %s\n", describe(r.File, f.Span), f.Code, f.Message)
 		}
 	}
 	fmt.Fprintf(w, "%d findings (%d errors, %d warnings, %d notes) from %s\n",
@@ -25,6 +30,9 @@ func (r *Report) Render(w io.Writer) {
 		r.CountBySeverity(source.Warning),
 		r.CountBySeverity(source.Note),
 		strings.Join(r.Analyzers, ","))
+	if len(r.Suppressed) > 0 {
+		fmt.Fprintf(w, "%d findings suppressed by directives\n", len(r.Suppressed))
+	}
 }
 
 func describe(f *source.File, s source.Span) string {
@@ -32,6 +40,20 @@ func describe(f *source.File, s source.Span) string {
 		return "<unknown>"
 	}
 	return f.Describe(s.Start)
+}
+
+// describeRelated renders a related location. When the related span lives in
+// a different file than the report, the primary file cannot resolve its
+// line/col, so the location is rendered as file:@byte-offset — the file name
+// is never dropped.
+func describeRelated(f *source.File, rel Related) string {
+	if rel.File != "" && (f == nil || rel.File != f.Name) {
+		if rel.Span.IsValid() {
+			return fmt.Sprintf("%s:@%d", rel.File, rel.Span.Start)
+		}
+		return rel.File
+	}
+	return describe(f, rel.Span)
 }
 
 // jsonFinding is the machine-readable shape of one finding. Field names are
@@ -63,6 +85,10 @@ type jsonReport struct {
 	Errors    int           `json:"errors"`
 	Warnings  int           `json:"warnings"`
 	Notes     int           `json:"notes"`
+	// Suppressed counts directive-muted findings; the findings themselves
+	// are listed only under -strict.
+	Suppressed         int           `json:"suppressed"`
+	SuppressedFindings []jsonFinding `json:"suppressedFindings,omitempty"`
 }
 
 // WriteJSON emits the report as one indented JSON document.
@@ -72,35 +98,49 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		name = r.File.Name
 	}
 	out := jsonReport{
-		File:      name,
-		Analyzers: r.Analyzers,
-		Findings:  []jsonFinding{}, // render [] rather than null for empty
-		Errors:    r.CountBySeverity(source.Error),
-		Warnings:  r.CountBySeverity(source.Warning),
-		Notes:     r.CountBySeverity(source.Note),
+		File:       name,
+		Analyzers:  r.Analyzers,
+		Findings:   []jsonFinding{}, // render [] rather than null for empty
+		Errors:     r.CountBySeverity(source.Error),
+		Warnings:   r.CountBySeverity(source.Warning),
+		Notes:      r.CountBySeverity(source.Note),
+		Suppressed: len(r.Suppressed),
 	}
 	for _, f := range r.Findings {
-		jf := jsonFinding{
-			Code:     f.Code,
-			Severity: f.Severity.String(),
-			Analyzer: f.Analyzer,
-			File:     name,
-			Message:  f.Message,
+		out.Findings = append(out.Findings, r.jsonFinding(f, name))
+	}
+	if r.Strict {
+		for _, f := range r.Suppressed {
+			out.SuppressedFindings = append(out.SuppressedFindings, r.jsonFinding(f, name))
 		}
-		if r.File != nil && f.Span.IsValid() {
-			jf.Line, jf.Col = r.File.Position(f.Span.Start)
-			jf.EndLine, jf.EndCol = r.File.Position(f.Span.End)
-		}
-		for _, rel := range f.Related {
-			jr := jsonRelated{File: name, Message: rel.Message}
-			if r.File != nil && rel.Span.IsValid() {
-				jr.Line, jr.Col = r.File.Position(rel.Span.Start)
-			}
-			jf.Related = append(jf.Related, jr)
-		}
-		out.Findings = append(out.Findings, jf)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+func (r *Report) jsonFinding(f Finding, name string) jsonFinding {
+	jf := jsonFinding{
+		Code:     f.Code,
+		Severity: f.Severity.String(),
+		Analyzer: f.Analyzer,
+		File:     name,
+		Message:  f.Message,
+	}
+	if r.File != nil && f.Span.IsValid() {
+		jf.Line, jf.Col = r.File.Position(f.Span.Start)
+		jf.EndLine, jf.EndCol = r.File.Position(f.Span.End)
+	}
+	for _, rel := range f.Related {
+		// A related span in another file keeps that file's name; its
+		// line/col cannot be resolved against this report's file and stay 0.
+		jr := jsonRelated{File: name, Message: rel.Message}
+		if rel.File != "" && rel.File != name {
+			jr.File = rel.File
+		} else if r.File != nil && rel.Span.IsValid() {
+			jr.Line, jr.Col = r.File.Position(rel.Span.Start)
+		}
+		jf.Related = append(jf.Related, jr)
+	}
+	return jf
 }

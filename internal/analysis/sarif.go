@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+
+	"bitc/internal/source"
+)
+
+// SARIF 2.1.0 output, the minimal subset most code-review tools ingest: one
+// run, a tool.driver with one reportingDescriptor per lint code that fired,
+// and one result per finding with physical locations and relatedLocations.
+// The schema subset is documented in README.md ("Machine-readable output").
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID           string          `json:"ruleId"`
+	Level            string          `json:"level"`
+	Message          sarifMessage    `json:"message"`
+	Locations        []sarifLocation `json:"locations"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
+	Suppressions     []sarifSupp     `json:"suppressions,omitempty"`
+}
+
+type sarifSupp struct {
+	Kind string `json:"kind"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
+}
+
+// WriteSARIF emits the report as a SARIF 2.1.0 log. Suppressed findings are
+// included with an inSource suppression object (SARIF's native way to say
+// "found but muted"), so viewers show them greyed out rather than losing
+// them.
+func (r *Report) WriteSARIF(w io.Writer) error {
+	name := ""
+	if r.File != nil {
+		name = r.File.Name
+	}
+
+	// One rule per code that actually fired, in first-appearance order of
+	// the (already sorted) findings — deterministic.
+	var rules []sarifRule
+	ruleSeen := map[string]bool{}
+	addRule := func(f Finding) {
+		if ruleSeen[f.Code] {
+			return
+		}
+		ruleSeen[f.Code] = true
+		doc := f.Code
+		if a := ByName(f.Analyzer); a != nil {
+			doc = a.Doc
+		}
+		rules = append(rules, sarifRule{ID: f.Code, ShortDescription: sarifMessage{Text: doc}})
+	}
+
+	results := []sarifResult{}
+	addResult := func(f Finding, muted bool) {
+		res := sarifResult{
+			RuleID:    f.Code,
+			Level:     sarifLevel(f.Severity),
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{r.sarifLoc(f.Span, name, "")},
+		}
+		for _, rel := range f.Related {
+			file := name
+			if rel.File != "" {
+				file = rel.File
+			}
+			res.RelatedLocations = append(res.RelatedLocations, r.sarifLoc(rel.Span, file, rel.Message))
+		}
+		if muted {
+			res.Suppressions = []sarifSupp{{Kind: "inSource"}}
+		}
+		results = append(results, res)
+	}
+	for _, f := range r.Findings {
+		addRule(f)
+		addResult(f, false)
+	}
+	for _, f := range r.Suppressed {
+		addRule(f)
+		addResult(f, true)
+	}
+	if rules == nil {
+		rules = []sarifRule{}
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "bitc", InformationURI: "https://example.invalid/bitc", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func (r *Report) sarifLoc(span source.Span, file, msg string) sarifLocation {
+	loc := sarifLocation{PhysicalLocation: sarifPhysical{ArtifactLocation: sarifArtifact{URI: file}}}
+	// Regions can only be resolved against the report's own file; a
+	// foreign-file related span keeps its artifact URI without a region.
+	if r.File != nil && file == r.File.Name && span.IsValid() {
+		reg := &sarifRegion{}
+		reg.StartLine, reg.StartColumn = r.File.Position(span.Start)
+		reg.EndLine, reg.EndColumn = r.File.Position(span.End)
+		loc.PhysicalLocation.Region = reg
+	}
+	if msg != "" {
+		loc.Message = &sarifMessage{Text: msg}
+	}
+	return loc
+}
+
+func sarifLevel(sev source.Severity) string {
+	switch sev {
+	case source.Error:
+		return "error"
+	case source.Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}

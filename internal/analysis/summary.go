@@ -1,0 +1,428 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bitc/internal/ast"
+	"bitc/internal/concurrent"
+	"bitc/internal/source"
+	"bitc/internal/types"
+)
+
+// Function summaries: the interprocedural substrate for the race and
+// deadlock checkers. Each function is summarised by the locks it (or any
+// callee) may acquire, the lock-ordering edges and re-acquisitions its
+// execution induces, and the shared-global accesses it performs with the
+// locks held relative to its own entry. with-lock is block-structured, so
+// every acquired lock is released on exit and the held-on-exit set is always
+// empty — the summary therefore needs no release component.
+//
+// Summaries are computed bottom-up over the call graph's SCC order: a call
+// site instantiates the callee's finished summary (merging the caller's held
+// locks into the callee's accesses and turning the callee's acquisitions
+// into ordering edges), and mutually recursive functions iterate to a
+// fixpoint within their SCC. This removes the per-call-chain depth bound the
+// old syntactic walks needed: a race or an ABBA inversion through any chain
+// of helpers is visible.
+
+// LockSite is the first program point where a lock event was observed.
+type LockSite struct {
+	Lock string
+	Span source.Span
+	Fn   string // function lexically containing the event
+}
+
+// FuncEffects is one function's summary.
+type FuncEffects struct {
+	Name string
+	// Acquires maps each lock the function may acquire (directly or through
+	// callees) to its first acquisition site.
+	Acquires map[string]LockSite
+	// Edges[a][b] is the first site where b was acquired while a was held.
+	Edges map[string]map[string]LockSite
+	// Self[a] is the first site where a was re-acquired while already held.
+	Self map[string]LockSite
+	// Accesses are the shared-global accesses, with locksets relative to
+	// function entry (entered with no locks held). Accesses under a spawn
+	// keep their own locksets when instantiated at call sites.
+	Accesses []concurrent.Access
+}
+
+// Summaries is the whole-program summary set plus the derived whole-program
+// results the interprocedural checkers consume.
+type Summaries struct {
+	Graph   *CallGraph
+	Effects map[string]*FuncEffects
+	// SCCOrder is the bottom-up order summaries were computed in.
+	SCCOrder [][]string
+	// Races are the conflicting access pairs reachable from entry points.
+	Races []concurrent.Race
+	// LockEdges and LockSelf are the union of every function's ordering
+	// edges and re-acquisitions (every function is a potential entry for
+	// ordering purposes).
+	LockEdges map[string]map[string]LockSite
+	LockSelf  map[string]LockSite
+}
+
+// ComputeSummaries builds every function's effects bottom-up and derives the
+// whole-program race and lock-order facts.
+func ComputeSummaries(prog *ast.Program, info *types.Info) *Summaries {
+	cg := BuildCallGraph(prog)
+	sb := &summaryBuilder{
+		info:    info,
+		cg:      cg,
+		effects: map[string]*FuncEffects{},
+		shared:  map[string]bool{},
+	}
+	for name, t := range info.Globals {
+		if types.Prune(t).Kind == types.KStruct {
+			sb.shared[name] = true
+		}
+	}
+
+	order := cg.SCCs()
+	for _, scc := range order {
+		for _, name := range scc {
+			sb.effects[name] = newEffects(name)
+		}
+		for {
+			changed := false
+			for _, name := range scc {
+				eff := sb.computeOne(cg.Funcs[name])
+				if !equalEffects(sb.effects[name], eff) {
+					changed = true
+				}
+				sb.effects[name] = eff
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	s := &Summaries{
+		Graph:     cg,
+		Effects:   sb.effects,
+		SCCOrder:  order,
+		LockEdges: map[string]map[string]LockSite{},
+		LockSelf:  map[string]LockSite{},
+	}
+
+	// Ordering facts: union over all functions, first site wins, functions
+	// visited in sorted name order for determinism.
+	for _, name := range cg.Names {
+		eff := sb.effects[name]
+		for a, outs := range eff.Edges {
+			for b, site := range outs {
+				addEdgeSite(s.LockEdges, a, b, site)
+			}
+		}
+		for a, site := range eff.Self {
+			if _, ok := s.LockSelf[a]; !ok {
+				s.LockSelf[a] = site
+			}
+		}
+	}
+
+	// Races: accesses reachable from entry points (functions nothing else
+	// calls, plus main), deduplicated across entries.
+	var accesses []concurrent.Access
+	seen := map[string]bool{}
+	for _, d := range prog.Defs {
+		fn, ok := d.(*ast.DefineFunc)
+		if !ok {
+			continue
+		}
+		if cg.CalledByOther[fn.Name] && fn.Name != "main" {
+			continue
+		}
+		for _, ac := range sb.effects[fn.Name].Accesses {
+			k := accessKey(ac)
+			if !seen[k] {
+				seen[k] = true
+				accesses = append(accesses, ac)
+			}
+		}
+	}
+	s.Races = concurrent.FindRaces(accesses)
+	return s
+}
+
+type summaryBuilder struct {
+	info    *types.Info
+	cg      *CallGraph
+	effects map[string]*FuncEffects
+	shared  map[string]bool
+}
+
+func newEffects(name string) *FuncEffects {
+	return &FuncEffects{
+		Name:     name,
+		Acquires: map[string]LockSite{},
+		Edges:    map[string]map[string]LockSite{},
+		Self:     map[string]LockSite{},
+	}
+}
+
+// walkCtx is the state threaded through one function-body walk.
+type walkCtx struct {
+	fn       string   // function being summarised (lock-site attribution)
+	accessFn string   // access attribution ($spawn suffix inside spawn exprs)
+	order    []string // real locks held, no duplicates (ordering facts)
+	held     []string // locks held incl. "atomic" and re-acquisitions (locksets)
+	spawned  bool
+	seen     map[string]bool // access dedup keys
+	eff      *FuncEffects
+}
+
+// computeOne rebuilds fn's effects from its body and the current effects of
+// its callees. Called repeatedly within an SCC until a fixpoint; the walk is
+// deterministic and monotone in the callee effects, so iteration terminates.
+func (sb *summaryBuilder) computeOne(fn *ast.DefineFunc) *FuncEffects {
+	ctx := &walkCtx{
+		fn:       fn.Name,
+		accessFn: fn.Name,
+		seen:     map[string]bool{},
+		eff:      newEffects(fn.Name),
+	}
+	for _, e := range fn.Body {
+		sb.walk(e, ctx)
+	}
+	return ctx.eff
+}
+
+func (sb *summaryBuilder) walk(e ast.Expr, ctx *walkCtx) {
+	switch e := e.(type) {
+	case *ast.WithLock:
+		site := LockSite{Lock: e.Lock, Span: e.Span(), Fn: ctx.fn}
+		reacquired := false
+		for _, h := range ctx.order {
+			if h == e.Lock {
+				reacquired = true
+				addSelfSite(ctx.eff.Self, e.Lock, site)
+			} else {
+				addEdgeSite(ctx.eff.Edges, h, e.Lock, site)
+			}
+		}
+		addAcquire(ctx.eff.Acquires, e.Lock, site)
+		inner := *ctx
+		if !reacquired {
+			inner.order = append(append([]string{}, ctx.order...), e.Lock)
+		}
+		inner.held = append(append([]string{}, ctx.held...), e.Lock)
+		for _, b := range e.Body {
+			sb.walk(b, &inner)
+		}
+
+	case *ast.Atomic:
+		// STM serialises with every other atomic block: model as a single
+		// pseudo-lock "atomic" in locksets, invisible to lock ordering.
+		inner := *ctx
+		inner.held = append(append([]string{}, ctx.held...), "atomic")
+		for _, b := range e.Body {
+			sb.walk(b, &inner)
+		}
+
+	case *ast.Spawn:
+		// A spawned thread starts with an empty lockset; direct accesses in
+		// the spawn expression are attributed to a synthetic $spawn frame.
+		inner := *ctx
+		inner.accessFn = ctx.accessFn + "$spawn"
+		inner.order = nil
+		inner.held = nil
+		inner.spawned = true
+		sb.walk(e.Expr, &inner)
+
+	case *ast.FieldRef:
+		if g := sb.globalTarget(e.Expr); g != "" {
+			sb.record(ctx, g, e.Name, false, e.Span())
+		}
+		sb.walk(e.Expr, ctx)
+
+	case *ast.FieldSet:
+		if g := sb.globalTarget(e.Expr); g != "" {
+			sb.record(ctx, g, e.Name, true, e.Span())
+		}
+		sb.walk(e.Expr, ctx)
+		sb.walk(e.Value, ctx)
+
+	case *ast.Call:
+		if v, ok := e.Fn.(*ast.VarRef); ok && sb.cg.Funcs[v.Name] != nil {
+			sb.instantiate(ctx, v.Name)
+		}
+		for _, arg := range e.Args {
+			sb.walk(arg, ctx)
+		}
+
+	default:
+		ast.Walk(e, func(sub ast.Expr) bool {
+			if sub == e {
+				return true
+			}
+			sb.walk(sub, ctx)
+			return false
+		})
+	}
+}
+
+// instantiate merges a callee's summary into the caller at a call site.
+func (sb *summaryBuilder) instantiate(ctx *walkCtx, callee string) {
+	ce := sb.effects[callee]
+	if ce == nil { // later SCC member on the first fixpoint round
+		return
+	}
+	// The callee's acquisitions happen under the caller's held locks.
+	for _, l := range sortedKeys(ce.Acquires) {
+		site := ce.Acquires[l]
+		for _, h := range ctx.order {
+			if h == l {
+				addSelfSite(ctx.eff.Self, l, site)
+			} else {
+				addEdgeSite(ctx.eff.Edges, h, l, site)
+			}
+		}
+		addAcquire(ctx.eff.Acquires, l, site)
+	}
+	// The callee's own ordering facts hold regardless of caller state.
+	for a, outs := range ce.Edges {
+		for b, site := range outs {
+			addEdgeSite(ctx.eff.Edges, a, b, site)
+		}
+	}
+	for a, site := range ce.Self {
+		addSelfSite(ctx.eff.Self, a, site)
+	}
+	// The callee's accesses happen with the caller's locks added — except
+	// accesses the callee already runs on its own spawned thread, which keep
+	// their recorded context.
+	for _, ac := range ce.Accesses {
+		if !ac.Spawned {
+			ac.Lockset = mergeLocksets(ac.Lockset, ctx.held)
+			ac.Spawned = ctx.spawned
+		}
+		sb.append(ctx, ac)
+	}
+}
+
+func (sb *summaryBuilder) record(ctx *walkCtx, global, field string, write bool, span source.Span) {
+	ls := append([]string{}, ctx.held...)
+	sort.Strings(ls)
+	sb.append(ctx, concurrent.Access{
+		Global: global, Field: field, Write: write, Span: span,
+		Func: ctx.accessFn, Lockset: ls, Spawned: ctx.spawned,
+	})
+}
+
+func (sb *summaryBuilder) append(ctx *walkCtx, ac concurrent.Access) {
+	k := accessKey(ac)
+	if ctx.seen[k] {
+		return
+	}
+	ctx.seen[k] = true
+	ctx.eff.Accesses = append(ctx.eff.Accesses, ac)
+}
+
+func (sb *summaryBuilder) globalTarget(e ast.Expr) string {
+	v, ok := e.(*ast.VarRef)
+	if !ok {
+		return ""
+	}
+	if sym := sb.info.Uses[v]; sym != nil && sym.Kind == types.SymGlobal && sb.shared[v.Name] {
+		return v.Name
+	}
+	return ""
+}
+
+func accessKey(ac concurrent.Access) string {
+	k := ac.Global + "." + ac.Field + "|" + ac.Func + "|" + strings.Join(ac.Lockset, ",")
+	if ac.Write {
+		k += "|w"
+	}
+	if ac.Spawned {
+		k += "|s"
+	}
+	return fmt.Sprintf("%s|%d", k, ac.Span.Start)
+}
+
+func mergeLocksets(a, b []string) []string {
+	out := append(append([]string{}, a...), b...)
+	sort.Strings(out)
+	// Keep duplicates out (a lock held by both caller and callee).
+	dedup := out[:0]
+	for i, l := range out {
+		if i == 0 || out[i-1] != l {
+			dedup = append(dedup, l)
+		}
+	}
+	return dedup
+}
+
+func addAcquire(m map[string]LockSite, lock string, site LockSite) {
+	if _, ok := m[lock]; !ok {
+		m[lock] = site
+	}
+}
+
+func addSelfSite(m map[string]LockSite, lock string, site LockSite) {
+	if _, ok := m[lock]; !ok {
+		m[lock] = site
+	}
+}
+
+func addEdgeSite(m map[string]map[string]LockSite, a, b string, site LockSite) {
+	if m[a] == nil {
+		m[a] = map[string]LockSite{}
+	}
+	if _, ok := m[a][b]; !ok {
+		m[a][b] = site
+	}
+}
+
+func sortedKeys(m map[string]LockSite) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalEffects(a, b *FuncEffects) bool {
+	if len(a.Acquires) != len(b.Acquires) || len(a.Self) != len(b.Self) ||
+		len(a.Edges) != len(b.Edges) || len(a.Accesses) != len(b.Accesses) {
+		return false
+	}
+	for k := range a.Acquires {
+		if _, ok := b.Acquires[k]; !ok {
+			return false
+		}
+	}
+	for k := range a.Self {
+		if _, ok := b.Self[k]; !ok {
+			return false
+		}
+	}
+	for k, outs := range a.Edges {
+		bo, ok := b.Edges[k]
+		if !ok || len(outs) != len(bo) {
+			return false
+		}
+		for k2 := range outs {
+			if _, ok := bo[k2]; !ok {
+				return false
+			}
+		}
+	}
+	bk := map[string]bool{}
+	for _, ac := range b.Accesses {
+		bk[accessKey(ac)] = true
+	}
+	for _, ac := range a.Accesses {
+		if !bk[accessKey(ac)] {
+			return false
+		}
+	}
+	return true
+}

@@ -4,15 +4,20 @@ import (
 	"math/big"
 
 	"bitc/internal/ast"
+	"bitc/internal/cfg"
+	"bitc/internal/dataflow"
 	"bitc/internal/source"
 	"bitc/internal/types"
 )
 
-// The truncate analyzer flags explicit-width casts that can lose bits. It is
-// flow-insensitive but carries a "value-range lite": literals, masked
-// values, remainders, and nested casts get tight ranges, everything else the
-// full range of its type — so (cast uint8 (bitand x 0xFF)) is clean while
-// (cast uint8 x) on an int64 x is flagged.
+// The truncate analyzer flags explicit-width casts that can lose bits. It
+// runs an interval analysis over the function's CFG: literals, masked
+// values, remainders, and nested casts get tight ranges; locals carry the
+// range of their last assignment; and branch conditions refine ranges along
+// each edge — so inside `(if (< x 256) ...)` a `(cast uint8 x)` is clean
+// while the same cast outside is flagged. The lattice is finite (every bound
+// derives from a literal, a type bound, or finitely many ±1 refinement
+// steps), so the fixpoint always terminates.
 
 // Truncation lint codes.
 const (
@@ -22,40 +27,55 @@ const (
 
 var truncateAnalyzer = register(&Analyzer{
 	Name:        "truncate",
-	Doc:         "explicit-width casts that can lose bits (value-range lite)",
+	Doc:         "explicit-width casts that can lose bits (branch-refined value ranges)",
 	Code:        CodeTruncate,
 	Codes:       []string{CodeTruncate, CodeFloatTrunc},
 	PerFunction: true,
+	NeedsCFG:    true,
 	Run:         runTruncate,
 })
 
 func runTruncate(p *Pass) {
-	for _, body := range p.Fn.Body {
-		ast.Walk(body, func(e ast.Expr) bool {
-			cast, ok := e.(*ast.Cast)
-			if !ok {
-				return true
-			}
-			src := p.Info.TypeOf(cast.Expr)
-			dst := p.Info.TypeOf(cast)
-			switch {
-			case src.Kind == types.KFloat && dst.Kind == types.KInt:
-				p.Reportf(CodeFloatTrunc, source.Note, cast.Span(),
-					"cast from %s to %s discards the fractional part and may overflow", src, dst)
-			case intLike(src) && intLike(dst):
-				sr := rangeOfExpr(p.Info, cast.Expr)
-				dr := typeRange(dst)
-				if sr == nil || dr == nil {
-					return true
+	g := p.CFG(nil)
+	tf := newTruncFlow(p.Info, g)
+	res := dataflow.Solve[rangeEnv](g, tf)
+
+	for _, b := range g.Blocks {
+		env := res.In[b.Index]
+		for _, a := range b.Atoms {
+			if cast, ok := a.Expr.(*ast.Cast); ok && a.Op == cfg.OpEval {
+				checkEnv := env
+				if a.Deferred || !env.reached {
+					// Deferred code runs at an unknown later point, and a
+					// refinement-unreachable block has no flow facts: check
+					// against plain type ranges either way.
+					checkEnv = rangeEnv{}
 				}
-				if sr.lo.Cmp(dr.lo) < 0 || sr.hi.Cmp(dr.hi) > 0 {
-					p.Reportf(CodeTruncate, source.Warning, cast.Span(),
-						"cast from %s to %s may truncate: source range [%s, %s] exceeds target range [%s, %s]",
-						src, dst, sr.lo, sr.hi, dr.lo, dr.hi)
-				}
+				tf.checkCast(p, cast, checkEnv)
 			}
-			return true
-		})
+			env = tf.step(env, a)
+		}
+	}
+}
+
+func (tf *truncFlow) checkCast(p *Pass, cast *ast.Cast, env rangeEnv) {
+	src := p.Info.TypeOf(cast.Expr)
+	dst := p.Info.TypeOf(cast)
+	switch {
+	case src.Kind == types.KFloat && dst.Kind == types.KInt:
+		p.Reportf(CodeFloatTrunc, source.Note, cast.Span(),
+			"cast from %s to %s discards the fractional part and may overflow", src, dst)
+	case intLike(src) && intLike(dst):
+		sr := tf.rangeOf(env, cast.Expr)
+		dr := typeRange(dst)
+		if sr == nil || dr == nil {
+			return
+		}
+		if sr.lo.Cmp(dr.lo) < 0 || sr.hi.Cmp(dr.hi) > 0 {
+			p.Reportf(CodeTruncate, source.Warning, cast.Span(),
+				"cast from %s to %s may truncate: source range [%s, %s] exceeds target range [%s, %s]",
+				src, dst, sr.lo, sr.hi, dr.lo, dr.hi)
+		}
 	}
 }
 
@@ -96,10 +116,309 @@ func typeRange(t *types.Type) *valueRange {
 	return nil
 }
 
-// rangeOfExpr computes a conservative interval for e, or nil when e's type
-// is not integer-like.
-func rangeOfExpr(info *types.Info, e ast.Expr) *valueRange {
-	t := types.Prune(info.TypeOf(e))
+// ---------------------------------------------------------------------------
+// Interval dataflow
+// ---------------------------------------------------------------------------
+
+// rangeEnv is the dataflow fact: narrowed ranges for locals whose current
+// value is known to fit an interval tighter than its type. An absent key
+// means the full type range; reached distinguishes the bottom element
+// (no path reaches this point) from "reachable, nothing narrowed".
+type rangeEnv struct {
+	reached bool
+	vars    map[string]*valueRange
+}
+
+func (e rangeEnv) clone() rangeEnv {
+	out := rangeEnv{reached: e.reached, vars: make(map[string]*valueRange, len(e.vars))}
+	for k, v := range e.vars {
+		out.vars[k] = v
+	}
+	return out
+}
+
+// truncFlow is the forward interval problem with branch refinement.
+type truncFlow struct {
+	info *types.Info
+	g    *cfg.Graph
+	// volatile holds locals a closure may assign (a deferred WriteRef use
+	// exists): their ranges are never tracked, since the write can happen at
+	// any point relative to this code.
+	volatile map[string]bool
+}
+
+func newTruncFlow(info *types.Info, g *cfg.Graph) *truncFlow {
+	tf := &truncFlow{info: info, g: g, volatile: map[string]bool{}}
+	for _, b := range g.Blocks {
+		for _, a := range b.Atoms {
+			if a.Op == cfg.OpUse && a.Deferred && a.WriteRef {
+				tf.volatile[a.Name] = true
+			}
+		}
+	}
+	return tf
+}
+
+func (tf *truncFlow) Direction() dataflow.Direction { return dataflow.Forward }
+func (tf *truncFlow) Boundary() rangeEnv            { return rangeEnv{reached: true} }
+func (tf *truncFlow) Init() rangeEnv                { return rangeEnv{} }
+
+// Meet is the interval hull, dropping any variable not narrowed on both
+// sides; the bottom element is the identity.
+func (tf *truncFlow) Meet(a, b rangeEnv) rangeEnv {
+	if !a.reached {
+		return b
+	}
+	if !b.reached {
+		return a
+	}
+	out := rangeEnv{reached: true, vars: map[string]*valueRange{}}
+	for k, av := range a.vars {
+		bv, ok := b.vars[k]
+		if !ok {
+			continue
+		}
+		lo := av.lo
+		if bv.lo.Cmp(lo) < 0 {
+			lo = bv.lo
+		}
+		hi := av.hi
+		if bv.hi.Cmp(hi) > 0 {
+			hi = bv.hi
+		}
+		out.vars[k] = newRange(lo, hi)
+	}
+	return out
+}
+
+func (tf *truncFlow) Equal(a, b rangeEnv) bool {
+	if a.reached != b.reached || len(a.vars) != len(b.vars) {
+		return false
+	}
+	for k, av := range a.vars {
+		bv, ok := b.vars[k]
+		if !ok || av.lo.Cmp(bv.lo) != 0 || av.hi.Cmp(bv.hi) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (tf *truncFlow) Transfer(b *cfg.Block, in rangeEnv) rangeEnv {
+	if !in.reached {
+		return in
+	}
+	out := in.clone()
+	for _, a := range b.Atoms {
+		out = tf.step(out, a)
+	}
+	return out
+}
+
+// step applies one atom to an environment (shared by Transfer and the
+// checker's replay). Deferred defs were already folded into volatile.
+func (tf *truncFlow) step(env rangeEnv, a cfg.Atom) rangeEnv {
+	if !env.reached {
+		return env
+	}
+	set := func(name string, r *valueRange) {
+		if tf.volatile[name] {
+			return
+		}
+		out := env.clone()
+		if r == nil {
+			delete(out.vars, name)
+		} else {
+			out.vars[name] = r
+		}
+		env = out
+	}
+	switch a.Op {
+	case cfg.OpDef:
+		if !a.Deferred {
+			if s, ok := a.Expr.(*ast.Set); ok {
+				set(a.Name, tf.narrowed(env, s.Value))
+			}
+		}
+	case cfg.OpDecl:
+		switch a.Decl.Kind {
+		case cfg.DeclLet:
+			set(a.Name, tf.narrowed(env, a.Decl.Binding.Init))
+		case cfg.DeclLoop:
+			// dotimes counts i = 0 .. count-1.
+			if dt, ok := a.Decl.Node.(*ast.DoTimes); ok {
+				if cr := tf.rangeOf(env, dt.Count); cr != nil && cr.hi.Sign() > 0 {
+					set(a.Name, newRange(big.NewInt(0), new(big.Int).Sub(cr.hi, big.NewInt(1))))
+					break
+				}
+			}
+			set(a.Name, nil)
+		default:
+			set(a.Name, nil)
+		}
+	}
+	return env
+}
+
+// narrowed returns e's interval only when it is strictly tighter than the
+// full type range (keeping the environment small).
+func (tf *truncFlow) narrowed(env rangeEnv, e ast.Expr) *valueRange {
+	r := tf.rangeOf(env, e)
+	if r == nil {
+		return nil
+	}
+	if full := typeRange(types.Prune(tf.info.TypeOf(e))); full != nil &&
+		r.lo.Cmp(full.lo) <= 0 && r.hi.Cmp(full.hi) >= 0 {
+		return nil
+	}
+	return r
+}
+
+// Flow refines the fact along one branch edge using the block's condition:
+// succ 0 is the true edge, succ 1 the false edge. Non-comparison conditions
+// and multiway dispatch pass the fact through unchanged.
+func (tf *truncFlow) Flow(from *cfg.Block, succIdx int, out rangeEnv) rangeEnv {
+	if !out.reached || from.Cond == nil || len(from.Succs) != 2 {
+		return out
+	}
+	return tf.refine(out, from.Cond, succIdx == 0)
+}
+
+// refine applies a branch condition's truth to the environment.
+func (tf *truncFlow) refine(env rangeEnv, cond ast.Expr, truth bool) rangeEnv {
+	call, ok := cond.(*ast.Call)
+	if !ok {
+		return env
+	}
+	fn, ok := call.Fn.(*ast.VarRef)
+	if !ok {
+		return env
+	}
+	switch fn.Name {
+	case "not":
+		if len(call.Args) == 1 {
+			return tf.refine(env, call.Args[0], !truth)
+		}
+		return env
+	case "and":
+		// A true conjunction makes every conjunct true; a false one tells
+		// us nothing about any individual conjunct.
+		if truth {
+			for _, a := range call.Args {
+				env = tf.refine(env, a, true)
+			}
+		}
+		return env
+	case "or":
+		if !truth {
+			for _, a := range call.Args {
+				env = tf.refine(env, a, false)
+			}
+		}
+		return env
+	}
+	if len(call.Args) != 2 {
+		return env
+	}
+	a, b := call.Args[0], call.Args[1]
+	one := big.NewInt(1)
+	switch fn.Name {
+	case "<":
+		if !truth {
+			return tf.bound(tf.bound(env, a, nil, tf.loOf(env, b)), b, tf.hiOf(env, a), nil)
+		}
+		return tf.bound(tf.bound(env, a, sub(tf.hiOf(env, b), one), nil), b, nil, add(tf.loOf(env, a), one))
+	case "<=":
+		if !truth {
+			return tf.bound(tf.bound(env, a, nil, add(tf.loOf(env, b), one)), b, sub(tf.hiOf(env, a), one), nil)
+		}
+		return tf.bound(tf.bound(env, a, tf.hiOf(env, b), nil), b, nil, tf.loOf(env, a))
+	case ">":
+		return tf.refine(env, &ast.Call{Fn: fn2("<", fn), Args: []ast.Expr{b, a}}, truth)
+	case ">=":
+		return tf.refine(env, &ast.Call{Fn: fn2("<=", fn), Args: []ast.Expr{b, a}}, truth)
+	case "=":
+		if truth {
+			env = tf.bound(env, a, tf.hiOf(env, b), tf.loOf(env, b))
+			return tf.bound(env, b, tf.hiOf(env, a), tf.loOf(env, a))
+		}
+	}
+	return env
+}
+
+// fn2 makes a synthetic comparison head reusing the original's span.
+func fn2(name string, like *ast.VarRef) *ast.VarRef {
+	return &ast.VarRef{Name: name, SpanV: like.SpanV}
+}
+
+func add(x, y *big.Int) *big.Int {
+	if x == nil {
+		return nil
+	}
+	return new(big.Int).Add(x, y)
+}
+
+func sub(x, y *big.Int) *big.Int {
+	if x == nil {
+		return nil
+	}
+	return new(big.Int).Sub(x, y)
+}
+
+func (tf *truncFlow) loOf(env rangeEnv, e ast.Expr) *big.Int {
+	if r := tf.rangeOf(env, e); r != nil {
+		return r.lo
+	}
+	return nil
+}
+
+func (tf *truncFlow) hiOf(env rangeEnv, e ast.Expr) *big.Int {
+	if r := tf.rangeOf(env, e); r != nil {
+		return r.hi
+	}
+	return nil
+}
+
+// bound intersects a local's range with [newLo, newHi] (nil = no bound on
+// that side). A contradictory interval makes the edge unreachable.
+func (tf *truncFlow) bound(env rangeEnv, e ast.Expr, newHi, newLo *big.Int) rangeEnv {
+	if !env.reached {
+		return env
+	}
+	v, ok := e.(*ast.VarRef)
+	if !ok {
+		return env
+	}
+	name := tf.g.Rename[v]
+	if name == "" || tf.volatile[name] {
+		return env
+	}
+	cur := tf.rangeOf(env, e)
+	if cur == nil {
+		return env
+	}
+	lo, hi := cur.lo, cur.hi
+	if newLo != nil && newLo.Cmp(lo) > 0 {
+		lo = newLo
+	}
+	if newHi != nil && newHi.Cmp(hi) < 0 {
+		hi = newHi
+	}
+	if lo.Cmp(hi) > 0 {
+		return rangeEnv{} // condition can never hold: edge unreachable
+	}
+	if lo == cur.lo && hi == cur.hi {
+		return env
+	}
+	out := env.clone()
+	out.vars[name] = newRange(lo, hi)
+	return out
+}
+
+// rangeOf computes a conservative interval for e under env, or nil when e's
+// type is not integer-like.
+func (tf *truncFlow) rangeOf(env rangeEnv, e ast.Expr) *valueRange {
+	t := types.Prune(tf.info.TypeOf(e))
 	full := typeRange(t)
 	switch e := e.(type) {
 	case *ast.IntLit:
@@ -108,21 +427,28 @@ func rangeOfExpr(info *types.Info, e ast.Expr) *valueRange {
 	case *ast.CharLit:
 		v := big.NewInt(int64(e.Value))
 		return newRange(v, v)
+	case *ast.VarRef:
+		if name := tf.g.Rename[e]; name != "" && env.reached {
+			if r, ok := env.vars[name]; ok {
+				return r
+			}
+		}
+		return full
 	case *ast.Cast:
-		inner := rangeOfExpr(info, e.Expr)
+		inner := tf.rangeOf(env, e.Expr)
 		if inner != nil && full != nil && within(inner, full) {
 			return inner // value preserved by the cast
 		}
 		return full
 	case *ast.Begin:
 		if n := len(e.Body); n > 0 {
-			if r := rangeOfExpr(info, e.Body[n-1]); r != nil {
+			if r := tf.rangeOf(env, e.Body[n-1]); r != nil {
 				return r
 			}
 		}
 		return full
 	case *ast.Call:
-		if r := builtinRange(info, e); r != nil {
+		if r := tf.builtinRange(env, e); r != nil {
 			return r
 		}
 		return full
@@ -132,7 +458,7 @@ func rangeOfExpr(info *types.Info, e ast.Expr) *valueRange {
 
 // builtinRange narrows the result of masking/remainder/shift builtins with
 // literal operands.
-func builtinRange(info *types.Info, call *ast.Call) *valueRange {
+func (tf *truncFlow) builtinRange(env rangeEnv, call *ast.Call) *valueRange {
 	v, ok := call.Fn.(*ast.VarRef)
 	if !ok || len(call.Args) != 2 {
 		return nil
@@ -141,7 +467,7 @@ func builtinRange(info *types.Info, call *ast.Call) *valueRange {
 	if !ok {
 		return nil
 	}
-	argT := types.Prune(info.TypeOf(call.Args[0]))
+	argT := types.Prune(tf.info.TypeOf(call.Args[0]))
 	switch v.Name {
 	case "bitand":
 		if lit.Value >= 0 {
@@ -151,6 +477,9 @@ func builtinRange(info *types.Info, call *ast.Call) *valueRange {
 		if lit.Value > 0 {
 			hi := big.NewInt(lit.Value - 1)
 			if argT.Kind == types.KInt && argT.Signed {
+				if r := tf.rangeOf(env, call.Args[0]); r != nil && r.lo.Sign() >= 0 {
+					return newRange(big.NewInt(0), hi) // non-negative dividend
+				}
 				return newRange(new(big.Int).Neg(hi), hi)
 			}
 			return newRange(big.NewInt(0), hi)
@@ -158,7 +487,11 @@ func builtinRange(info *types.Info, call *ast.Call) *valueRange {
 	case "shr":
 		if full := typeRange(argT); full != nil && lit.Value >= 0 && lit.Value < 64 &&
 			argT.Kind == types.KInt && !argT.Signed {
-			return newRange(big.NewInt(0), new(big.Int).Rsh(full.hi, uint(lit.Value)))
+			base := full
+			if r := tf.rangeOf(env, call.Args[0]); r != nil && r.lo.Sign() >= 0 {
+				base = r
+			}
+			return newRange(big.NewInt(0), new(big.Int).Rsh(base.hi, uint(lit.Value)))
 		}
 	}
 	return nil

@@ -73,6 +73,20 @@ func (*TypeBitfield) typeExpr() {}
 type Program struct {
 	File *source.File
 	Defs []Def
+	// Suppressions are the lint-muting directives found in the unit; the
+	// static-analysis driver honours them, the compiler ignores them.
+	Suppressions []Suppression
+}
+
+// Suppression mutes analysis findings of one lint code. A form suppression
+// ((suppress "BITC-XXXX" expr)) covers the span of the whole form; a comment
+// directive (; bitc:ignore BITC-XXXX) covers a single source line. Matching
+// findings are moved to the report's suppressed list rather than dropped, so
+// strict runs can still account for them.
+type Suppression struct {
+	Code string
+	Span source.Span // form region; invalid for comment directives
+	Line int         // 1-based directive target line; 0 for form suppressions
 }
 
 // Def is a top-level definition.

@@ -98,7 +98,7 @@ func Analyze(prog *ast.Program, info *types.Info) *Report {
 		}
 	}
 	rep := &Report{Accesses: a.accesses}
-	rep.Races = findRaces(a.accesses)
+	rep.Races = FindRaces(a.accesses)
 	return rep
 }
 
@@ -211,10 +211,12 @@ func (a *analyzer) walkSpawn(e ast.Expr, fn *ast.DefineFunc, depth int) {
 	a.walk(e, synthetic, nil, true, depth)
 }
 
-// findRaces pairs conflicting accesses: same location, at least one write,
+// FindRaces pairs conflicting accesses: same location, at least one write,
 // at least one from a spawned thread (or both from different spawned code),
-// and disjoint locksets.
-func findRaces(accesses []Access) []Race {
+// and disjoint locksets. Exported so callers that collect accesses through
+// another path (the summary-based interprocedural analysis) share the same
+// race-pairing policy.
+func FindRaces(accesses []Access) []Race {
 	byLoc := map[string][]Access{}
 	for _, ac := range accesses {
 		byLoc[ac.Global+"."+ac.Field] = append(byLoc[ac.Global+"."+ac.Field], ac)

@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bitc/internal/analysis"
+	"bitc/internal/core"
+)
+
+// TestAnalyzeGolden pins the exact `analyze -json` output for the shipped
+// example programs: the three examples/progs sources plus the four example
+// workloads mirrored in testdata/analyze. Any change to a checker, to
+// finding ordering, or to the JSON schema shows up here as a byte diff.
+// Regenerate with:
+//
+//	BITC_UPDATE_GOLDEN=1 go test ./internal/core -run TestAnalyzeGolden
+func TestAnalyzeGolden(t *testing.T) {
+	var inputs []string
+	progs, err := filepath.Glob("../../examples/progs/*.bitc")
+	if err != nil || len(progs) == 0 {
+		t.Fatalf("no examples/progs sources: %v", err)
+	}
+	inputs = append(inputs, progs...)
+	pinned, err := filepath.Glob("testdata/analyze/*.bitc")
+	if err != nil || len(pinned) != 4 {
+		t.Fatalf("want the 4 pinned example programs, got %d (%v)", len(pinned), err)
+	}
+	inputs = append(inputs, pinned...)
+
+	update := os.Getenv("BITC_UPDATE_GOLDEN") != ""
+	for _, path := range inputs {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := core.Load(name, string(src), core.DefaultConfig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := prog.Analyze(analysis.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := rep.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			goldenPath := filepath.Join("testdata", "analyze", name+".golden.json")
+			if update {
+				if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with BITC_UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("analyze -json output drifted from %s:\n--- got\n%s\n--- want\n%s",
+					goldenPath, buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,412 @@
+// Package dataflow is a generic worklist solver over internal/cfg graphs.
+//
+// A Problem describes a monotone dataflow analysis: a direction, boundary
+// and initial facts, a meet operator, and a per-block transfer function
+// (optionally refined per edge, which is how branch conditions feed value
+// ranges). Solve iterates blocks in reverse postorder (forward) or postorder
+// (backward) until a fixpoint; problems over finite lattices always
+// terminate.
+//
+// Two canned instances cover the classic bit-vector analyses the checkers
+// need: Liveness (backward may) and ReachingDefs (forward may), both over
+// the use/def/decl atoms the CFG builder emits. MustAssign (forward must) is
+// the definite-initialization skeleton.
+package dataflow
+
+import (
+	"sort"
+
+	"bitc/internal/cfg"
+)
+
+// Direction of propagation.
+type Direction int
+
+// Directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Problem defines one dataflow analysis over facts of type F.
+type Problem[F any] interface {
+	Direction() Direction
+	// Boundary is the fact entering the entry block (forward) or leaving
+	// the exit block (backward).
+	Boundary() F
+	// Init is the starting fact for every other block (the lattice top).
+	Init() F
+	Meet(a, b F) F
+	// Transfer applies block b to the incoming fact. Implementations must
+	// not mutate in; they return a fresh (or unchanged) fact.
+	Transfer(b *cfg.Block, in F) F
+	Equal(a, b F) bool
+}
+
+// EdgeRefiner is an optional Problem extension: Flow refines the fact
+// propagated along one edge. succIdx is the index of the target in
+// from.Succs, so a conditional block's true edge is 0 and false edge is 1.
+type EdgeRefiner[F any] interface {
+	Flow(from *cfg.Block, succIdx int, out F) F
+}
+
+// Result holds the per-block fixpoint facts. For forward problems In is the
+// state before the block and Out after; for backward problems In is the
+// state at block exit and Out at block entry (facts flow against the edges).
+type Result[F any] struct {
+	In, Out []F // indexed by Block.Index
+}
+
+// Solve runs the worklist algorithm to a fixpoint.
+func Solve[F any](g *cfg.Graph, p Problem[F]) *Result[F] {
+	n := len(g.Blocks)
+	res := &Result[F]{In: make([]F, n), Out: make([]F, n)}
+	for i := 0; i < n; i++ {
+		res.In[i] = p.Init()
+		res.Out[i] = p.Init()
+	}
+
+	order := g.RPO()
+	if p.Direction() == Backward {
+		rev := make([]*cfg.Block, n)
+		for i, b := range order {
+			rev[n-1-i] = b
+		}
+		order = rev
+	}
+	refiner, _ := p.(EdgeRefiner[F])
+
+	// sources(b) yields the dataflow predecessors with the edge metadata
+	// needed for refinement.
+	type inEdge struct {
+		from    *cfg.Block
+		succIdx int
+	}
+	sources := func(b *cfg.Block) []inEdge {
+		var out []inEdge
+		if p.Direction() == Forward {
+			for _, pred := range b.Preds {
+				for i, s := range pred.Succs {
+					if s == b {
+						out = append(out, inEdge{pred, i})
+					}
+				}
+			}
+		} else {
+			for i, s := range b.Succs {
+				_ = i
+				out = append(out, inEdge{s, -1})
+			}
+		}
+		return out
+	}
+
+	inWork := make([]bool, n)
+	work := make([]*cfg.Block, 0, n)
+	for _, b := range order {
+		work = append(work, b)
+		inWork[b.Index] = true
+	}
+	boundary := g.Entry
+	if p.Direction() == Backward {
+		boundary = g.Exit
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		var in F
+		srcs := sources(b)
+		if b == boundary && len(srcs) == 0 {
+			in = p.Boundary()
+		} else {
+			first := true
+			for _, e := range srcs {
+				f := res.Out[e.from.Index]
+				if refiner != nil && p.Direction() == Forward && e.succIdx >= 0 {
+					f = refiner.Flow(e.from, e.succIdx, f)
+				}
+				if first {
+					in = f
+					first = false
+				} else {
+					in = p.Meet(in, f)
+				}
+			}
+			if first {
+				in = p.Init()
+			}
+			if b == boundary {
+				in = p.Meet(in, p.Boundary())
+			}
+		}
+		res.In[b.Index] = in
+		out := p.Transfer(b, in)
+		if !p.Equal(out, res.Out[b.Index]) {
+			res.Out[b.Index] = out
+			var next []*cfg.Block
+			if p.Direction() == Forward {
+				next = b.Succs
+			} else {
+				next = b.Preds
+			}
+			for _, s := range next {
+				if !inWork[s.Index] {
+					inWork[s.Index] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Name sets (the bit-vector fact shared by the canned instances)
+// ---------------------------------------------------------------------------
+
+// NameSet is a set of unique local names.
+type NameSet map[string]struct{}
+
+// Has reports membership.
+func (s NameSet) Has(name string) bool { _, ok := s[name]; return ok }
+
+// Clone copies the set.
+func (s NameSet) Clone() NameSet {
+	out := make(NameSet, len(s))
+	for k := range s {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// Names returns the sorted members (for deterministic output and tests).
+func (s NameSet) Names() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalNameSets(a, b NameSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func unionNameSets(a, b NameSet) NameSet {
+	out := a.Clone()
+	for k := range b {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+func intersectNameSets(a, b NameSet) NameSet {
+	out := NameSet{}
+	for k := range a {
+		if _, ok := b[k]; ok {
+			out[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Liveness (backward may)
+// ---------------------------------------------------------------------------
+
+type livenessProblem struct{}
+
+func (livenessProblem) Direction() Direction { return Backward }
+func (livenessProblem) Boundary() NameSet    { return NameSet{} }
+func (livenessProblem) Init() NameSet        { return NameSet{} }
+func (livenessProblem) Meet(a, b NameSet) NameSet {
+	return unionNameSets(a, b)
+}
+func (livenessProblem) Equal(a, b NameSet) bool { return equalNameSets(a, b) }
+
+func (livenessProblem) Transfer(b *cfg.Block, in NameSet) NameSet {
+	live := in.Clone()
+	for i := len(b.Atoms) - 1; i >= 0; i-- {
+		live = LivenessStep(live, b.Atoms[i])
+	}
+	return live
+}
+
+// LivenessStep applies one atom, in reverse order, to a live set. Exported
+// so checkers can recover per-atom liveness inside a block from the solved
+// block-exit facts without duplicating the transfer rules.
+func LivenessStep(live NameSet, a cfg.Atom) NameSet {
+	switch a.Op {
+	case cfg.OpUse:
+		// Deferred (closure-captured) references keep a variable live:
+		// the closure may run after any store. WriteRef captures count
+		// too — the closure body will reference the cell.
+		live[a.Name] = struct{}{}
+	case cfg.OpDef:
+		delete(live, a.Name)
+	case cfg.OpDecl:
+		delete(live, a.Name)
+	}
+	return live
+}
+
+// Liveness solves backward liveness over the graph's locals. Result.Out[i]
+// is the set live on entry to block i, Result.In[i] the set live at its
+// exit.
+func Liveness(g *cfg.Graph) *Result[NameSet] {
+	return Solve[NameSet](g, livenessProblem{})
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions (forward may)
+// ---------------------------------------------------------------------------
+
+// DefRef identifies one definition atom: block index and atom index.
+type DefRef struct {
+	Block, Atom int
+}
+
+// DefSet maps each local to the set of definitions that may reach a point.
+type DefSet map[string]map[DefRef]struct{}
+
+func (d DefSet) clone() DefSet {
+	out := make(DefSet, len(d))
+	for k, v := range d {
+		m := make(map[DefRef]struct{}, len(v))
+		for r := range v {
+			m[r] = struct{}{}
+		}
+		out[k] = m
+	}
+	return out
+}
+
+type reachingProblem struct{}
+
+func (reachingProblem) Direction() Direction { return Forward }
+func (reachingProblem) Boundary() DefSet     { return DefSet{} }
+func (reachingProblem) Init() DefSet         { return DefSet{} }
+
+func (reachingProblem) Meet(a, b DefSet) DefSet {
+	out := a.clone()
+	for k, v := range b {
+		if out[k] == nil {
+			out[k] = map[DefRef]struct{}{}
+		}
+		for r := range v {
+			out[k][r] = struct{}{}
+		}
+	}
+	return out
+}
+
+func (reachingProblem) Equal(a, b DefSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || len(v) != len(w) {
+			return false
+		}
+		for r := range v {
+			if _, ok := w[r]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (reachingProblem) Transfer(b *cfg.Block, in DefSet) DefSet {
+	out := in.clone()
+	for i, a := range b.Atoms {
+		if (a.Op == cfg.OpDef || a.Op == cfg.OpDecl) && !a.Deferred {
+			out[a.Name] = map[DefRef]struct{}{{Block: b.Index, Atom: i}: {}}
+		}
+	}
+	return out
+}
+
+// ReachingDefs solves forward reaching definitions: Result.In[i] holds, for
+// each local, the definitions that may reach the entry of block i.
+func ReachingDefs(g *cfg.Graph) *Result[DefSet] {
+	return Solve[DefSet](g, reachingProblem{})
+}
+
+// ---------------------------------------------------------------------------
+// Definite assignment (forward must)
+// ---------------------------------------------------------------------------
+
+// MustAssignProblem computes the set of locals definitely assigned at each
+// point. Tracked restricts the analysis to the variables of interest;
+// InitAssigned decides whether a declaration's initialiser already counts
+// as an assignment (definite-init treats placeholder zero values as "not
+// yet"). Extra names a per-block set of variables to force-assign at the
+// start of that block's transfer — the hook checkers use to encode idiom
+// exemptions (e.g. loop accumulators).
+type MustAssignProblem struct {
+	Tracked      NameSet
+	InitAssigned func(d *cfg.Decl) bool
+	Extra        map[int]NameSet // block index -> names assigned by fiat
+	universe     NameSet
+}
+
+// NewMustAssign builds the problem for the given tracked variables.
+func NewMustAssign(tracked NameSet, initAssigned func(d *cfg.Decl) bool) *MustAssignProblem {
+	return &MustAssignProblem{Tracked: tracked, InitAssigned: initAssigned, universe: tracked.Clone()}
+}
+
+func (p *MustAssignProblem) Direction() Direction { return Forward }
+func (p *MustAssignProblem) Boundary() NameSet    { return NameSet{} }
+
+// Init is the universe: a must-analysis starts every non-boundary block at
+// "all assigned" so the intersection meet only removes what some path lacks.
+func (p *MustAssignProblem) Init() NameSet { return p.universe.Clone() }
+
+func (p *MustAssignProblem) Meet(a, b NameSet) NameSet { return intersectNameSets(a, b) }
+func (p *MustAssignProblem) Equal(a, b NameSet) bool   { return equalNameSets(a, b) }
+
+func (p *MustAssignProblem) Transfer(b *cfg.Block, in NameSet) NameSet {
+	out := in.Clone()
+	if extra := p.Extra[b.Index]; extra != nil {
+		for k := range extra {
+			out[k] = struct{}{}
+		}
+	}
+	for _, a := range b.Atoms {
+		out = p.Step(out, a)
+	}
+	return out
+}
+
+// Step applies one atom to an assigned-set; exported for per-atom replay.
+func (p *MustAssignProblem) Step(assigned NameSet, a cfg.Atom) NameSet {
+	switch a.Op {
+	case cfg.OpDef:
+		if !a.Deferred && p.Tracked.Has(a.Name) {
+			assigned[a.Name] = struct{}{}
+		}
+	case cfg.OpDecl:
+		if p.Tracked.Has(a.Name) {
+			if p.InitAssigned == nil || p.InitAssigned(a.Decl) {
+				assigned[a.Name] = struct{}{}
+			} else {
+				delete(assigned, a.Name)
+			}
+		}
+	}
+	return assigned
+}

@@ -24,6 +24,7 @@ func Parse(name, text string) (*ast.Program, *source.Diagnostics) {
 			prog.Defs = append(prog.Defs, d)
 		}
 	}
+	prog.Suppressions = append(p.suppressions, scanIgnoreComments(file)...)
 	return prog, diags
 }
 
@@ -40,7 +41,8 @@ func ParseExpr(text string) (ast.Expr, *source.Diagnostics) {
 }
 
 type former struct {
-	diags *source.Diagnostics
+	diags        *source.Diagnostics
+	suppressions []ast.Suppression
 }
 
 func (p *former) errf(s source.Span, format string, args ...any) {
@@ -443,6 +445,21 @@ func (p *former) formExpr(s *sexp) ast.Expr {
 			return &ast.UnitLit{SpanV: s.span}
 		}
 		return &ast.WithLock{SpanV: s.span, Lock: s.list[1].sym(), Body: p.formBody(s.list[2:], s.span)}
+	case "suppress":
+		// (suppress "BITC-XXXX" expr) evaluates exactly like expr; the code
+		// and form span are recorded for the static-analysis driver.
+		if len(s.list) != 3 || s.list[1].tok == nil || s.list[1].tok.Kind != lexer.String {
+			p.errf(s.span, `suppress must be (suppress "BITC-XXXX" expr)`)
+			if len(s.list) >= 3 {
+				return p.formExpr(s.list[2])
+			}
+			return &ast.UnitLit{SpanV: s.span}
+		}
+		p.suppressions = append(p.suppressions, ast.Suppression{
+			Code: s.list[1].tok.StrVal,
+			Span: s.span,
+		})
+		return p.formExpr(s.list[2])
 	case "quote":
 		p.errf(s.span, "quote is only valid in type position")
 		return &ast.UnitLit{SpanV: s.span}

@@ -30,6 +30,33 @@ for f in examples/progs/*.bitc; do
     fi
     echo "analyze $f: 0 errors"
 done
-rm -f /tmp/bitc-check
+
+# Lint baseline: every unsuppressed warning/note across the example corpus
+# must already be listed in scripts/lint-baseline.txt. New findings fail the
+# gate (fix the code, suppress with a directive, or deliberately re-baseline
+# with `make lint-baseline`); stale baseline entries only warn.
+baseline=scripts/lint-baseline.txt
+current=$(mktemp)
+for f in examples/progs/*.bitc internal/core/testdata/analyze/*.bitc; do
+    /tmp/bitc-check analyze "$f" | grep '\[BITC-' | grep -v '^    ' || true
+done | sort > "$current"
+if [ ! -f "$baseline" ]; then
+    echo "missing $baseline (run 'make lint-baseline' to create it)"
+    rm -f "$current"
+    exit 1
+fi
+new=$(comm -13 "$baseline" "$current")
+if [ -n "$new" ]; then
+    echo "new unsuppressed findings not in $baseline:"
+    printf '%s\n' "$new"
+    rm -f "$current"
+    exit 1
+fi
+gone=$(comm -23 "$baseline" "$current")
+if [ -n "$gone" ]; then
+    echo "note: baseline entries no longer reported (consider 'make lint-baseline'):"
+    printf '%s\n' "$gone"
+fi
+rm -f "$current" /tmp/bitc-check
 
 echo "check: all green"
