@@ -1,9 +1,12 @@
 # Convenience entry points; `make check` is the CI gate.
 
-.PHONY: check test bench lint-baseline
+.PHONY: check test bench lint-baseline docs-check
 
 check:
 	sh scripts/check.sh
+
+docs-check:
+	sh scripts/docs-check.sh
 
 lint-baseline:
 	sh scripts/update-lint-baseline.sh

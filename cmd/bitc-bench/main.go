@@ -7,6 +7,9 @@
 //	bitc-bench            run every experiment at full scale
 //	bitc-bench -e E3      run one experiment
 //	bitc-bench -quick     test-suite sized workloads
+//	bitc-bench -metrics DIR [-deterministic]
+//	                      write BENCH_<id>.json trajectory files
+//	                      (bitc-metrics/v1 schema) instead of tables
 package main
 
 import (
@@ -15,17 +18,41 @@ import (
 	"os"
 
 	"bitc/internal/bench"
+	"bitc/internal/obs"
 )
 
 func main() {
 	exp := flag.String("e", "", "run a single experiment (E1..E8, A1..A4)")
 	quick := flag.Bool("quick", false, "small workloads (what the test suite runs)")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations A1..A4")
+	metricsDir := flag.String("metrics", "", "write BENCH_<id>.json metrics files into this directory")
+	deterministic := flag.Bool("deterministic", false, "metrics: zero wall-clock fields for byte-reproducible output")
 	flag.Parse()
 
 	params := bench.Full
 	if *quick {
 		params = bench.Quick
+	}
+
+	if *metricsDir != "" {
+		ids := bench.MetricsExperiments()
+		if *exp != "" {
+			ids = []string{*exp}
+		}
+		for _, id := range ids {
+			doc, err := bench.CollectMetrics(id, params, *deterministic)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bitc-bench:", err)
+				os.Exit(1)
+			}
+			path := obs.MetricsPath(*metricsDir, id)
+			if err := doc.WriteFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "bitc-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d rows)\n", path, len(doc.Rows))
+		}
+		return
 	}
 
 	run := func(e bench.Experiment) {

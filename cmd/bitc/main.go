@@ -4,12 +4,19 @@
 // Usage:
 //
 //	bitc check <file>            type-check only
-//	bitc run [-boxed] [-contracts] [-seed N] <file>
-//	                             compile and execute main
+//	bitc run [-boxed] [-contracts] [-seed N] [-profile cpu|alloc]
+//	         [-trace out.json] [-top N] [-deterministic] <file>
+//	                             compile and execute main; optionally collect
+//	                             a profile and/or a Perfetto-loadable trace
+//	bitc top [-profile cpu|alloc] [-top N] <file>
+//	                             run and print only the flat/cumulative
+//	                             profile report
 //	bitc verify <file>           generate + discharge verification conditions
 //	bitc analyze [-json] [-enable LIST] [-disable LIST] [-severity S] <file>
 //	                             run the unified static-analysis suite;
 //	                             exits 1 if any error-severity finding
+//	bitc analyzers [-codes]      list registered analyzers (with -codes, print
+//	                             just the BITC lint codes, one per line)
 //	bitc dump-ir <file>          print the optimised IR
 //	bitc dump-layout <file>      print struct layouts (packed/natural/boxed)
 //	bitc fmt <file>              print the normalised program
@@ -36,6 +43,7 @@ import (
 	"bitc/internal/ast"
 	"bitc/internal/core"
 	"bitc/internal/layout"
+	"bitc/internal/obs"
 	"bitc/internal/opt"
 	"bitc/internal/source"
 	"bitc/internal/verify"
@@ -51,19 +59,22 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: bitc <check|run|verify|analyze|dump-ir|dump-layout|fmt|repl> [flags] <file>\n(try `bitc analyze -h` for the static-analysis suite and its lint codes)")
+		return fmt.Errorf("usage: bitc <check|run|top|verify|analyze|analyzers|dump-ir|dump-layout|fmt|repl> [flags] <file>\n(try `bitc analyze -h` for the static-analysis suite and its lint codes)")
 	}
 	cmd, rest := args[0], args[1:]
 
 	if cmd == "repl" {
 		return repl(os.Stdin, os.Stdout)
 	}
+	if cmd == "analyzers" {
+		return listAnalyzers(rest)
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	boxed := fs.Bool("boxed", false, "execute under the uniform boxed representation")
 	contracts := fs.Bool("contracts", false, "compile contracts into runtime checks")
 	seed := fs.Uint64("seed", 0, "deterministic scheduler seed")
-	quantum := fs.Int("quantum", 64, "instructions between preemption points")
+	quantum := fs.Int("quantum", 0, "instructions between preemption points (0 = VM default, 64)")
 	olevel := fs.Int("O", 2, "optimisation level (0..2)")
 	entry := fs.String("entry", "main", "entry function for run")
 	noBounds := fs.Bool("no-bounds", false, "verify: skip vector bounds obligations")
@@ -74,6 +85,10 @@ func run(args []string) error {
 	enable := fs.String("enable", "", "analyze: comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "analyze: comma-separated analyzers to skip")
 	minSev := fs.String("severity", "note", "analyze: minimum severity to report (note|warning|error)")
+	profile := fs.String("profile", "", "run/top: collect a profile along this dimension (cpu|alloc)")
+	tracePath := fs.String("trace", "", "run: write a Chrome trace_event JSON file (load in Perfetto or chrome://tracing)")
+	topN := fs.Int("top", 10, "run/top: number of functions shown in the profile report")
+	deterministic := fs.Bool("deterministic", false, "run/top: omit wall-clock fields so observability output is byte-reproducible")
 	if cmd == "analyze" {
 		fs.Usage = func() {
 			fmt.Fprintln(os.Stderr, "usage: bitc analyze [-format pretty|json|sarif] [-strict] [-enable LIST] [-disable LIST] [-severity S] <file>")
@@ -107,6 +122,20 @@ func run(args []string) error {
 	if *boxed {
 		cfg.Mode = vm.Boxed
 	}
+
+	dim, err := parseProfile(*profile)
+	if err != nil {
+		return err
+	}
+	var rec *obs.Recorder
+	if cmd == "top" || (cmd == "run" && (*profile != "" || *tracePath != "")) {
+		rec = vm.NewRecorder(obs.Options{
+			Trace:         *tracePath != "",
+			Deterministic: *deterministic,
+		})
+		cfg.Observer = rec
+	}
+
 	prog, err := core.Load(path, string(src), cfg)
 	if err != nil {
 		return err
@@ -127,7 +156,14 @@ func run(args []string) error {
 		s := machine.Stats
 		fmt.Printf("[%s] instrs=%d calls=%d allocs=%d heap=%dB boxes=%d switches=%d\n",
 			machine.Mode(), s.Instrs, s.Calls, s.Allocs, s.HeapBytes, s.BoxAllocs, s.Switches)
-		return nil
+		return finishObs(rec, dim, *profile != "", *tracePath, *topN)
+
+	case "top":
+		if _, _, err := prog.RunFunc(*entry); err != nil {
+			return err
+		}
+		rec.Finish()
+		return rec.WriteReport(os.Stdout, dim, *topN)
 
 	case "verify":
 		vopts := verify.Options{CheckBounds: !*noBounds, CheckDivZero: !*noDivZero}
@@ -238,4 +274,75 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// parseProfile maps the -profile flag to a report dimension. The empty
+// string selects CPU so -trace without -profile still records sensibly.
+func parseProfile(s string) (obs.Profile, error) {
+	switch s {
+	case "", "cpu":
+		return obs.ProfileCPU, nil
+	case "alloc":
+		return obs.ProfileAlloc, nil
+	default:
+		return obs.ProfileCPU, fmt.Errorf("unknown -profile %q (want cpu or alloc)", s)
+	}
+}
+
+// finishObs settles the recorder after a run and writes whatever outputs
+// were requested: a Chrome trace file and/or a profile report on stdout.
+func finishObs(rec *obs.Recorder, dim obs.Profile, report bool, tracePath string, topN int) error {
+	if rec == nil {
+		return nil
+	}
+	rec.Finish()
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %d events to %s (%d dropped)\n",
+			len(rec.Events()), tracePath, rec.Dropped())
+	}
+	if report {
+		fmt.Println()
+		return rec.WriteReport(os.Stdout, dim, topN)
+	}
+	return nil
+}
+
+// listAnalyzers implements `bitc analyzers`: the human-readable registry
+// listing, or (with -codes) the machine-readable lint-code inventory that
+// scripts/docs-check.sh diffs against docs/lint-codes.md.
+func listAnalyzers(args []string) error {
+	fs := flag.NewFlagSet("analyzers", flag.ContinueOnError)
+	codes := fs.Bool("codes", false, "print just the BITC lint codes, one per line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("analyzers takes no file arguments")
+	}
+	if *codes {
+		var all []string
+		for _, a := range analysis.Registry() {
+			all = append(all, a.Codes...)
+		}
+		sort.Strings(all)
+		for _, c := range all {
+			fmt.Println(c)
+		}
+		return nil
+	}
+	for _, a := range analysis.Registry() {
+		fmt.Printf("%-10s %-34s %s\n", a.Name, strings.Join(a.Codes, ","), a.Doc)
+	}
+	return nil
 }

@@ -1,0 +1,150 @@
+package bench
+
+// Metrics export: the machine-readable companion to the printed tables.
+// Where the tables are for humans, CollectMetrics emits the stable
+// bitc-metrics/v1 JSON schema (internal/obs) as BENCH_<experiment>.json
+// trajectory files that future PRs can regress against.
+
+import (
+	"fmt"
+	"time"
+
+	"bitc/internal/core"
+	"bitc/internal/obs"
+	"bitc/internal/opt"
+	"bitc/internal/vm"
+)
+
+// MetricsExperiments lists the experiments with a metrics exporter.
+func MetricsExperiments() []string { return []string{"E1", "E8"} }
+
+// CollectMetrics runs the named experiment's workloads and returns the
+// metrics document. With deterministic set, wall-clock fields are zeroed so
+// the emitted JSON is byte-reproducible run to run.
+func CollectMetrics(id string, p Params, deterministic bool) (*obs.MetricsDoc, error) {
+	switch id {
+	case "E1":
+		return metricsE1(p, deterministic)
+	case "E8":
+		return metricsE8(p, deterministic)
+	default:
+		return nil, fmt.Errorf("no metrics exporter for experiment %q (have %v)", id, MetricsExperiments())
+	}
+}
+
+// countersOf projects the VM's internal counters onto the stable schema.
+func countersOf(s vm.Stats) obs.Counters {
+	return obs.Counters{
+		Instrs:          s.Instrs,
+		Calls:           s.Calls,
+		Allocs:          s.Allocs,
+		HeapBytes:       s.HeapBytes,
+		BoxAllocs:       s.BoxAllocs,
+		BoxBytes:        s.BoxBytes,
+		BoxReads:        s.BoxReads,
+		FieldReads:      s.FieldReads,
+		FieldWrites:     s.FieldWrites,
+		VecOps:          s.VecOps,
+		Switches:        s.Switches,
+		TxCommits:       s.TxCommits,
+		TxAborts:        s.TxAborts,
+		ExternCalls:     s.ExternCalls,
+		MarshalledBytes: s.MarshalledBytes,
+		RegionAllocs:    s.RegionAllocs,
+	}
+}
+
+// measure runs entry(arg) under mode and fills one Metrics row.
+func measure(p *core.Program, workload, mode string, repMode vm.RepMode, arg int64, deterministic bool) (obs.Metrics, error) {
+	machine := vm.New(p.Module, vm.Options{Mode: repMode})
+	start := time.Now()
+	if _, err := machine.RunFunc("entry", vm.IntValue(arg)); err != nil {
+		return obs.Metrics{}, fmt.Errorf("%s/%s: %w", workload, mode, err)
+	}
+	wall := time.Since(start).Nanoseconds()
+	if deterministic {
+		wall = 0
+	}
+	return obs.Metrics{
+		Workload: workload,
+		Mode:     mode,
+		N:        arg,
+		WallNS:   wall,
+		Counters: countersOf(machine.Stats),
+	}, nil
+}
+
+// metricsE1 exports the boxed-vs-unboxed comparison (fallacy 1): every
+// canonical workload under both representations, plus derived box-pressure
+// ratios.
+func metricsE1(p Params, deterministic bool) (*obs.MetricsDoc, error) {
+	doc := obs.NewMetricsDoc("E1", deterministic)
+	for _, w := range workloads() {
+		prog, err := core.Load(w.name, w.src, core.Config{Optimize: opt.O1})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.name, err)
+		}
+		arg := w.arg(p.Scale)
+		un, err := measure(prog, w.name, "unboxed", vm.Unboxed, arg, deterministic)
+		if err != nil {
+			return nil, err
+		}
+		bx, err := measure(prog, w.name, "boxed", vm.Boxed, arg, deterministic)
+		if err != nil {
+			return nil, err
+		}
+		if un.Counters.Instrs > 0 {
+			bx.Derived = map[string]float64{
+				"boxAllocsPerInstr": float64(bx.Counters.BoxAllocs) / float64(bx.Counters.Instrs),
+				"boxReadsPerInstr":  float64(bx.Counters.BoxReads) / float64(bx.Counters.Instrs),
+			}
+		}
+		doc.Rows = append(doc.Rows, un, bx)
+	}
+	return doc, nil
+}
+
+// metricsE8 exports the shared-state experiment (challenge 4): the bank
+// transfer workload under no synchronisation, a coarse lock, and STM, with
+// the abort rate as the headline derived metric.
+func metricsE8(p Params, deterministic bool) (*obs.MetricsDoc, error) {
+	doc := obs.NewMetricsDoc("E8", deterministic)
+	transfers := int64(100 * p.Scale)
+	for _, sync := range []string{"none", "coarse", "stm"} {
+		prog, err := core.Load("bankstm-"+sync, bankSrc(sync, transfers), core.Config{
+			Optimize: opt.O2,
+			Seed:     7,
+			Quantum:  13, // short quanta force interleaving so the modes differ
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bankstm/%s: %w", sync, err)
+		}
+		machine := prog.NewVM()
+		start := time.Now()
+		val, err := machine.RunFunc("entry", vm.IntValue(transfers))
+		if err != nil {
+			return nil, fmt.Errorf("bankstm/%s: %w", sync, err)
+		}
+		wall := time.Since(start).Nanoseconds()
+		if deterministic {
+			wall = 0
+		}
+		m := obs.Metrics{
+			Workload: "bankstm",
+			Mode:     sync,
+			N:        transfers,
+			WallNS:   wall,
+			Counters: countersOf(machine.Stats),
+			Derived: map[string]float64{
+				// 2n transfers conserve the total only when synchronised;
+				// the drift from 100000 is the lost-update count.
+				"finalTotal": float64(val.I),
+			},
+		}
+		if attempts := m.Counters.TxCommits + m.Counters.TxAborts; attempts > 0 {
+			m.Derived["txAbortRate"] = float64(m.Counters.TxAborts) / float64(attempts)
+		}
+		doc.Rows = append(doc.Rows, m)
+	}
+	return doc, nil
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bitc/internal/obs"
+)
+
+// TestMetricsE1SchemaAndDeterminism checks the exporter emits the stable
+// schema and that deterministic collection is byte-reproducible.
+func TestMetricsE1SchemaAndDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string) []byte {
+		doc, err := CollectMetrics("E1", Quick, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := doc.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := write("a.json"), write("b.json")
+	if !bytes.Equal(a, b) {
+		t.Fatal("deterministic metrics collection produced different bytes")
+	}
+
+	doc, err := obs.ReadMetricsFile(filepath.Join(dir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != obs.MetricsSchema || doc.Experiment != "E1" {
+		t.Fatalf("schema=%q experiment=%q", doc.Schema, doc.Experiment)
+	}
+	if doc.Generated != "" {
+		t.Error("deterministic doc carries a Generated timestamp")
+	}
+	// Two modes per workload, every row populated.
+	if want := 2 * len(workloads()); len(doc.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(doc.Rows), want)
+	}
+	for _, row := range doc.Rows {
+		if row.WallNS != 0 {
+			t.Errorf("%s/%s: deterministic row has wallNs=%d", row.Workload, row.Mode, row.WallNS)
+		}
+		if row.Counters.Instrs == 0 {
+			t.Errorf("%s/%s: zero instruction count", row.Workload, row.Mode)
+		}
+		if row.Mode == "boxed" && row.Counters.BoxAllocs == 0 {
+			t.Errorf("%s: boxed run allocated no boxes", row.Workload)
+		}
+	}
+}
+
+// TestMetricsE8AbortRate checks the STM row measures real contention and
+// the synchronised modes conserve the bank total while the racy one drifts.
+func TestMetricsE8AbortRate(t *testing.T) {
+	doc, err := CollectMetrics("E8", Quick, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]obs.Metrics{}
+	for _, row := range doc.Rows {
+		byMode[row.Mode] = row
+	}
+	stm := byMode["stm"]
+	if stm.Counters.TxCommits == 0 {
+		t.Fatal("stm mode committed no transactions")
+	}
+	if _, ok := stm.Derived["txAbortRate"]; !ok {
+		t.Error("stm row missing txAbortRate")
+	}
+	for _, mode := range []string{"coarse", "stm"} {
+		if got := byMode[mode].Derived["finalTotal"]; got != 100000 {
+			t.Errorf("%s: finalTotal = %v, want 100000", mode, got)
+		}
+	}
+}
+
+// TestMetricsUnknownExperiment checks the exporter rejects ids without a
+// metrics mapping instead of writing an empty document.
+func TestMetricsUnknownExperiment(t *testing.T) {
+	if _, err := CollectMetrics("E99", Quick, true); err == nil {
+		t.Fatal("expected an error for an unknown experiment")
+	}
+}

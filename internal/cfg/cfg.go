@@ -45,6 +45,7 @@ const (
 	OpSpawn
 )
 
+// String names the atom kind for diagnostics and CFG dumps.
 func (o Op) String() string {
 	switch o {
 	case OpEval:

@@ -17,6 +17,7 @@ import (
 	"bitc/internal/concurrent"
 	"bitc/internal/ir"
 	"bitc/internal/layout"
+	"bitc/internal/obs"
 	"bitc/internal/opt"
 	"bitc/internal/parser"
 	"bitc/internal/regions"
@@ -44,6 +45,10 @@ type Config struct {
 	MaxSteps uint64
 	// Stdout receives print/println output (default: discarded).
 	Stdout io.Writer
+	// Observer attaches a runtime observability recorder (tracing,
+	// profiling, metrics) to every VM the program creates; nil disables
+	// observability. See internal/obs and vm.NewRecorder.
+	Observer *obs.Recorder
 }
 
 // DefaultConfig compiles at O2 with unboxed representation.
@@ -96,6 +101,7 @@ func (p *Program) NewVM() *vm.VM {
 		Quantum:      p.cfg.Quantum,
 		MaxSteps:     p.cfg.MaxSteps,
 		Stdout:       p.cfg.Stdout,
+		Observer:     p.cfg.Observer,
 	})
 }
 

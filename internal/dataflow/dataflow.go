@@ -369,16 +369,25 @@ func NewMustAssign(tracked NameSet, initAssigned func(d *cfg.Decl) bool) *MustAs
 	return &MustAssignProblem{Tracked: tracked, InitAssigned: initAssigned, universe: tracked.Clone()}
 }
 
+// Direction is Forward: assignments propagate along execution order.
 func (p *MustAssignProblem) Direction() Direction { return Forward }
-func (p *MustAssignProblem) Boundary() NameSet    { return NameSet{} }
+
+// Boundary is empty: nothing is assigned at function entry.
+func (p *MustAssignProblem) Boundary() NameSet { return NameSet{} }
 
 // Init is the universe: a must-analysis starts every non-boundary block at
 // "all assigned" so the intersection meet only removes what some path lacks.
 func (p *MustAssignProblem) Init() NameSet { return p.universe.Clone() }
 
+// Meet intersects: a variable is definitely assigned only if every
+// predecessor path assigned it.
 func (p *MustAssignProblem) Meet(a, b NameSet) NameSet { return intersectNameSets(a, b) }
-func (p *MustAssignProblem) Equal(a, b NameSet) bool   { return equalNameSets(a, b) }
 
+// Equal compares two solutions for the solver's fixpoint test.
+func (p *MustAssignProblem) Equal(a, b NameSet) bool { return equalNameSets(a, b) }
+
+// Transfer adds the block's writes (and any Extra facts) to the incoming
+// assigned set.
 func (p *MustAssignProblem) Transfer(b *cfg.Block, in NameSet) NameSet {
 	out := in.Clone()
 	if extra := p.Extra[b.Index]; extra != nil {

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	// EvRun is a completed scheduler quantum: Tid ran Dur instructions
+	// ending at Ts+Dur.
+	EvRun EventKind = iota
+	// EvCall and EvReturn bracket a function activation (Name is the
+	// function).
+	EvCall
+	EvReturn
+	// EvAlloc is one heap allocation (Name is the site class, Arg bytes).
+	EvAlloc
+	// EvBoxRead is a sampled read through a scalar box (Arg is the exact
+	// running count at sample time).
+	EvBoxRead
+	// EvRegionEnter and EvRegionExit delimit a dynamic region (Arg is the
+	// region id).
+	EvRegionEnter
+	EvRegionExit
+	// EvSwitch is a scheduler context switch onto Tid.
+	EvSwitch
+	// EvTxCommit and EvTxAbort end an STM transaction attempt.
+	EvTxCommit
+	EvTxAbort
+	// EvLockAcquire and EvLockRelease record named-lock transitions.
+	EvLockAcquire
+	EvLockRelease
+	// EvSpawn records thread creation (Tid spawned Arg, running Name).
+	EvSpawn
+	// EvThreadStart marks first observation of a thread (Name is its entry
+	// function).
+	EvThreadStart
+)
+
+var eventKindNames = [...]string{
+	EvRun:         "run",
+	EvCall:        "call",
+	EvReturn:      "return",
+	EvAlloc:       "alloc",
+	EvBoxRead:     "box-read",
+	EvRegionEnter: "region-enter",
+	EvRegionExit:  "region-exit",
+	EvSwitch:      "switch",
+	EvTxCommit:    "tx-commit",
+	EvTxAbort:     "tx-abort",
+	EvLockAcquire: "lock-acquire",
+	EvLockRelease: "lock-release",
+	EvSpawn:       "spawn",
+	EvThreadStart: "thread-start",
+}
+
+// String returns the stable name of the event kind.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one fixed-shape trace record. Ts and Dur are in the logical
+// instruction clock (one executed instruction = one tick), which makes the
+// stream deterministic under a fixed scheduler seed; Wall is the only
+// wall-clock field and is zero when the recorder is Deterministic.
+type Event struct {
+	Kind EventKind
+	Tid  int64
+	Ts   uint64
+	Dur  uint64
+	Wall int64 // capture time, ns since epoch; 0 under Deterministic
+	Name string
+	Arg  int64
+}
+
+// nowNanos is the single wall-clock read in the package.
+func nowNanos() int64 { return time.Now().UnixNano() }
+
+// defaultOpName renders an opcode number when no OpName option is wired.
+func defaultOpName(op int) string { return fmt.Sprintf("op(%d)", op) }

@@ -1,0 +1,418 @@
+// Package obs is the runtime observability layer for the bitc VM and the
+// experiment harness: structured tracing into a bounded ring buffer (with a
+// Chrome trace_event writer, so traces open in Perfetto), per-opcode and
+// per-function profiling with pprof-style flat/cumulative reports, and a
+// stable JSON metrics schema that the bench harness exports as
+// BENCH_<experiment>.json files.
+//
+// The paper's argument is quantitative — "factors of 1.5x-2x matter" — so
+// the reproduction needs to *show* where cycles go, not just total them.
+// This package is that measurement substrate. Design constraints:
+//
+//   - The VM's hooks are nil-guarded: a VM with no Recorder attached pays
+//     one predictable branch per hook site and nothing else.
+//   - Everything observable is deterministic under a fixed scheduler seed.
+//     The only nondeterministic field is wall-clock time, which the
+//     Deterministic option zeroes so traces and metrics diff byte-for-byte.
+//   - Timestamps are the VM's logical instruction clock, not wall time:
+//     one executed instruction is one tick. Traces are therefore exact, and
+//     identical across runs with the same seed.
+//
+// The recorder is not safe for concurrent use; the VM's green threads all
+// run on one goroutine, which is the intended caller.
+package obs
+
+import "sort"
+
+// Profile selects which profile dimension reports rank by.
+type Profile int
+
+// Profile dimensions.
+const (
+	// ProfileCPU ranks functions by executed instructions.
+	ProfileCPU Profile = iota
+	// ProfileAlloc ranks functions by objects allocated (boxes included).
+	ProfileAlloc
+)
+
+// String returns the CLI spelling of the profile dimension.
+func (p Profile) String() string {
+	if p == ProfileAlloc {
+		return "alloc"
+	}
+	return "cpu"
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// Trace enables event capture into the ring buffer. Profiling counters
+	// are always maintained; only the event stream is optional.
+	Trace bool
+	// TraceCapacity bounds the ring buffer (events). 0 means DefaultCapacity.
+	// When the buffer is full the oldest events are overwritten and
+	// Recorder.Dropped counts what was lost.
+	TraceCapacity int
+	// Deterministic zeroes every wall-clock field at capture time, so two
+	// runs with the same scheduler seed produce byte-identical traces and
+	// metrics. Tests rely on this.
+	Deterministic bool
+	// SampleBoxReads emits one ring event per N box reads (box reads are the
+	// hottest observable event; recording each would swamp the buffer).
+	// 0 means DefaultBoxReadSample; counters are exact regardless.
+	SampleBoxReads int
+	// OpName renders an opcode number for reports and traces. The VM wires
+	// this to ir.Op.String; a nil OpName falls back to "op(N)".
+	OpName func(op int) string
+}
+
+// DefaultCapacity is the ring-buffer size used when TraceCapacity is 0.
+const DefaultCapacity = 1 << 16
+
+// DefaultBoxReadSample is the box-read sampling interval when
+// SampleBoxReads is 0.
+const DefaultBoxReadSample = 4096
+
+// FuncProf accumulates per-function profile counters. Flat counters are
+// exclusive (while the function's own frame is on top); Cum counters are
+// inclusive (while the function is anywhere on the executing thread's
+// stack, counted once per thread even under recursion).
+type FuncProf struct {
+	// Name is the function's source name.
+	Name string
+	// Calls counts activations.
+	Calls uint64
+	// Flat counts instructions executed with this function on top of stack.
+	Flat uint64
+	// Cum counts instructions executed while this function was live on the
+	// executing thread's stack.
+	Cum uint64
+	// Allocs and AllocBytes count heap objects (and scalar boxes) allocated
+	// with this function on top of stack.
+	Allocs     uint64
+	AllocBytes uint64
+	// CumAllocs and CumAllocBytes are the inclusive versions.
+	CumAllocs     uint64
+	CumAllocBytes uint64
+}
+
+// stackEntry is one activation on a thread's shadow stack.
+type stackEntry struct {
+	fp *FuncProf
+	// Snapshots of the owning thread's counters at entry.
+	startSteps, startAllocs, startAllocBytes uint64
+	// outer marks the outermost occurrence of fp on this thread's stack;
+	// only outer entries add to cumulative counters (recursion guard).
+	outer bool
+}
+
+// ThreadObs is the per-thread observability state. The VM caches a pointer
+// in each green thread so the per-instruction hook is field increments, not
+// map lookups.
+type ThreadObs struct {
+	// Tid is the VM thread id.
+	Tid int64
+	// Steps counts instructions this thread executed (its virtual clock).
+	Steps uint64
+	// Allocs and AllocBytes count allocations charged to this thread.
+	Allocs, AllocBytes uint64
+
+	stack   []stackEntry
+	onStack map[*FuncProf]int
+}
+
+// Depth returns the current shadow-stack depth.
+func (to *ThreadObs) Depth() int { return len(to.stack) }
+
+// Recorder collects trace events and profile counters for one VM run.
+// Attach one via vm.Options.Observer (or core.Config.Observer); a nil
+// Recorder disables all observability at the cost of one branch per hook.
+type Recorder struct {
+	opts Options
+
+	// Clock is the global logical clock: instructions executed across all
+	// threads. It is the trace timestamp domain.
+	clock uint64
+
+	ring *Ring
+
+	opCounts []uint64
+	funcs    map[string]*FuncProf
+	threads  map[int64]*ThreadObs
+	names    map[int64]string // thread id → entry-function name
+
+	// Aggregate event counters (exact even when the ring samples or drops).
+	BoxReads uint64
+	Switches uint64
+	Commits  uint64
+	Aborts   uint64
+}
+
+// NewRecorder creates a Recorder with the given options.
+func NewRecorder(opts Options) *Recorder {
+	if opts.TraceCapacity <= 0 {
+		opts.TraceCapacity = DefaultCapacity
+	}
+	if opts.SampleBoxReads <= 0 {
+		opts.SampleBoxReads = DefaultBoxReadSample
+	}
+	r := &Recorder{
+		opts:    opts,
+		funcs:   map[string]*FuncProf{},
+		threads: map[int64]*ThreadObs{},
+		names:   map[int64]string{},
+	}
+	if opts.Trace {
+		r.ring = NewRing(opts.TraceCapacity)
+	}
+	return r
+}
+
+// Deterministic reports whether wall-clock fields are being zeroed.
+func (r *Recorder) Deterministic() bool { return r.opts.Deterministic }
+
+// Tracing reports whether an event ring is attached.
+func (r *Recorder) Tracing() bool { return r.ring != nil }
+
+// Clock returns the logical instruction clock.
+func (r *Recorder) Clock() uint64 { return r.clock }
+
+// Thread registers (or returns) the per-thread state for tid. name is the
+// thread's entry function, used for trace track naming.
+func (r *Recorder) Thread(tid int64, name string) *ThreadObs {
+	if to, ok := r.threads[tid]; ok {
+		return to
+	}
+	to := &ThreadObs{Tid: tid, onStack: map[*FuncProf]int{}}
+	r.threads[tid] = to
+	r.names[tid] = name
+	r.emit(Event{Kind: EvThreadStart, Tid: tid, Ts: r.clock, Name: name})
+	return to
+}
+
+// FuncProf returns the canonical counter block for a function name.
+func (r *Recorder) FuncProf(name string) *FuncProf {
+	if fp, ok := r.funcs[name]; ok {
+		return fp
+	}
+	fp := &FuncProf{Name: name}
+	r.funcs[name] = fp
+	return fp
+}
+
+// Tick records one executed instruction: it advances both clocks, the
+// opcode histogram, and the flat counter of the function on top of stack.
+// This is the hottest hook; keep it allocation-free.
+func (r *Recorder) Tick(to *ThreadObs, fp *FuncProf, op int) {
+	r.clock++
+	to.Steps++
+	fp.Flat++
+	if op >= len(r.opCounts) {
+		grown := make([]uint64, op+16)
+		copy(grown, r.opCounts)
+		r.opCounts = grown
+	}
+	r.opCounts[op]++
+}
+
+// Enter pushes fp onto to's shadow stack (a call, spawn, or global init).
+func (r *Recorder) Enter(to *ThreadObs, fp *FuncProf) {
+	fp.Calls++
+	n := to.onStack[fp]
+	to.onStack[fp] = n + 1
+	to.stack = append(to.stack, stackEntry{
+		fp:              fp,
+		startSteps:      to.Steps,
+		startAllocs:     to.Allocs,
+		startAllocBytes: to.AllocBytes,
+		outer:           n == 0,
+	})
+	r.emit(Event{Kind: EvCall, Tid: to.Tid, Ts: r.clock, Name: fp.Name})
+}
+
+// Leave pops the top of to's shadow stack and settles its inclusive
+// counters.
+func (r *Recorder) Leave(to *ThreadObs) {
+	n := len(to.stack)
+	if n == 0 {
+		return
+	}
+	e := to.stack[n-1]
+	to.stack = to.stack[:n-1]
+	if c := to.onStack[e.fp]; c <= 1 {
+		delete(to.onStack, e.fp)
+	} else {
+		to.onStack[e.fp] = c - 1
+	}
+	if e.outer {
+		e.fp.Cum += to.Steps - e.startSteps
+		e.fp.CumAllocs += to.Allocs - e.startAllocs
+		e.fp.CumAllocBytes += to.AllocBytes - e.startAllocBytes
+	}
+	r.emit(Event{Kind: EvReturn, Tid: to.Tid, Ts: r.clock, Name: e.fp.Name})
+}
+
+// settle closes every open stack entry of to (end of run), so inclusive
+// counters of still-live frames — main, blocked threads — are accounted.
+func (r *Recorder) settle(to *ThreadObs) {
+	for len(to.stack) > 0 {
+		r.Leave(to)
+	}
+}
+
+// Finish settles all thread stacks. The VM calls it when the scheduler
+// drains; it is idempotent.
+func (r *Recorder) Finish() {
+	tids := make([]int64, 0, len(r.threads))
+	for tid := range r.threads {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		r.settle(r.threads[tid])
+	}
+}
+
+// Alloc records a heap allocation (aggregate object or scalar box) charged
+// to the function on top of to's stack. kind names the allocation site
+// class ("struct", "vector", "closure", "box", ...).
+func (r *Recorder) Alloc(to *ThreadObs, fp *FuncProf, kind string, bytes uint64) {
+	to.Allocs++
+	to.AllocBytes += bytes
+	fp.Allocs++
+	fp.AllocBytes += bytes
+	r.emit(Event{Kind: EvAlloc, Tid: to.Tid, Ts: r.clock, Name: kind, Arg: int64(bytes)})
+}
+
+// BoxRead records one read through a scalar box. The counter is exact; the
+// ring sees every SampleBoxReads-th event so boxed-mode traces stay useful
+// without swamping the buffer.
+func (r *Recorder) BoxRead() {
+	r.BoxReads++
+	if r.ring != nil && r.BoxReads%uint64(r.opts.SampleBoxReads) == 0 {
+		r.emit(Event{Kind: EvBoxRead, Ts: r.clock, Arg: int64(r.BoxReads)})
+	}
+}
+
+// RunSpan records one scheduler quantum: thread tid ran dur instructions
+// ending at the current clock.
+func (r *Recorder) RunSpan(to *ThreadObs, dur uint64) {
+	if dur == 0 {
+		return
+	}
+	r.emit(Event{Kind: EvRun, Tid: to.Tid, Ts: r.clock - dur, Dur: dur})
+}
+
+// Switch records a scheduler context switch onto tid.
+func (r *Recorder) Switch(tid int64) {
+	r.Switches++
+	r.emit(Event{Kind: EvSwitch, Tid: tid, Ts: r.clock})
+}
+
+// Region records a region enter (enter=true) or exit event for region id.
+func (r *Recorder) Region(to *ThreadObs, enter bool, id int64) {
+	k := EvRegionExit
+	if enter {
+		k = EvRegionEnter
+	}
+	r.emit(Event{Kind: k, Tid: to.Tid, Ts: r.clock, Arg: id})
+}
+
+// Tx records a transaction commit (commit=true) or abort.
+func (r *Recorder) Tx(to *ThreadObs, commit bool) {
+	k := EvTxAbort
+	if commit {
+		k = EvTxCommit
+		r.Commits++
+	} else {
+		r.Aborts++
+	}
+	r.emit(Event{Kind: k, Tid: to.Tid, Ts: r.clock})
+}
+
+// Lock records a lock acquire (acquire=true) or release of the named lock.
+func (r *Recorder) Lock(to *ThreadObs, acquire bool, name string) {
+	k := EvLockRelease
+	if acquire {
+		k = EvLockAcquire
+	}
+	r.emit(Event{Kind: k, Tid: to.Tid, Ts: r.clock, Name: name})
+}
+
+// Spawn records that parent spawned child running fn.
+func (r *Recorder) Spawn(parent, child int64, fn string) {
+	r.emit(Event{Kind: EvSpawn, Tid: parent, Ts: r.clock, Name: fn, Arg: child})
+}
+
+// emit stamps the wall clock (unless deterministic) and pushes onto the
+// ring, if tracing is enabled.
+func (r *Recorder) emit(ev Event) {
+	if r.ring == nil {
+		return
+	}
+	if !r.opts.Deterministic {
+		ev.Wall = nowNanos()
+	}
+	r.ring.Push(ev)
+}
+
+// Events returns the captured events oldest-first (empty without Trace).
+func (r *Recorder) Events() []Event {
+	if r.ring == nil {
+		return nil
+	}
+	return r.ring.Snapshot()
+}
+
+// Dropped returns how many events the ring overwrote.
+func (r *Recorder) Dropped() uint64 {
+	if r.ring == nil {
+		return 0
+	}
+	return r.ring.Dropped
+}
+
+// opName renders an opcode for reports.
+func (r *Recorder) opName(op int) string {
+	if r.opts.OpName != nil {
+		return r.opts.OpName(op)
+	}
+	return defaultOpName(op)
+}
+
+// Funcs returns every function profile, sorted by name.
+func (r *Recorder) Funcs() []*FuncProf {
+	out := make([]*FuncProf, 0, len(r.funcs))
+	for _, fp := range r.funcs {
+		out = append(out, fp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// OpCount is one row of the per-opcode histogram.
+type OpCount struct {
+	// Op is the opcode number (an ir.Op value).
+	Op int
+	// Name is the opcode mnemonic.
+	Name string
+	// Count is how many times the opcode executed.
+	Count uint64
+}
+
+// OpCounts returns the non-zero per-opcode execution counts, most-executed
+// first (ties by opcode number for determinism).
+func (r *Recorder) OpCounts() []OpCount {
+	var out []OpCount
+	for op, n := range r.opCounts {
+		if n > 0 {
+			out = append(out, OpCount{Op: op, Name: r.opName(op), Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRingWrapsAndCountsDrops(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Push(Event{Arg: int64(i)})
+	}
+	if r.Len() != 3 || r.Dropped != 2 {
+		t.Fatalf("len=%d dropped=%d, want 3/2", r.Len(), r.Dropped)
+	}
+	got := r.Snapshot()
+	want := []int64{2, 3, 4}
+	for i, ev := range got {
+		if ev.Arg != want[i] {
+			t.Fatalf("snapshot[%d].Arg = %d, want %d", i, ev.Arg, want[i])
+		}
+	}
+}
+
+// runSynthetic drives a recorder through a small synthetic execution:
+// main (10 instrs) calls leaf twice (5 instrs each), leaf allocates once,
+// and leaf recurses once (3 instrs inner).
+func runSynthetic(r *Recorder) {
+	to := r.Thread(1, "main")
+	mainFP := r.FuncProf("main")
+	leafFP := r.FuncProf("leaf")
+	r.Enter(to, mainFP)
+	for i := 0; i < 10; i++ {
+		r.Tick(to, mainFP, 1)
+	}
+	for call := 0; call < 2; call++ {
+		r.Enter(to, leafFP)
+		for i := 0; i < 5; i++ {
+			r.Tick(to, leafFP, 2)
+		}
+		r.Alloc(to, leafFP, "struct", 24)
+		if call == 0 { // one recursive activation
+			r.Enter(to, leafFP)
+			for i := 0; i < 3; i++ {
+				r.Tick(to, leafFP, 2)
+			}
+			r.Leave(to)
+		}
+		r.Leave(to)
+	}
+	r.Leave(to)
+	r.Finish()
+}
+
+func TestProfileFlatAndCumulative(t *testing.T) {
+	r := NewRecorder(Options{Deterministic: true})
+	runSynthetic(r)
+
+	mainFP, leafFP := r.FuncProf("main"), r.FuncProf("leaf")
+	if mainFP.Flat != 10 {
+		t.Errorf("main flat = %d, want 10", mainFP.Flat)
+	}
+	if leafFP.Flat != 13 {
+		t.Errorf("leaf flat = %d, want 13", leafFP.Flat)
+	}
+	// Cumulative: main includes everything; leaf's recursive inner frame
+	// must not double-count (outer occurrences only).
+	if mainFP.Cum != 23 {
+		t.Errorf("main cum = %d, want 23", mainFP.Cum)
+	}
+	if leafFP.Cum != 13 {
+		t.Errorf("leaf cum = %d, want 13", leafFP.Cum)
+	}
+	if leafFP.Calls != 3 || mainFP.Calls != 1 {
+		t.Errorf("calls main=%d leaf=%d, want 1/3", mainFP.Calls, leafFP.Calls)
+	}
+	if leafFP.Allocs != 2 || leafFP.AllocBytes != 48 {
+		t.Errorf("leaf allocs=%d bytes=%d, want 2/48", leafFP.Allocs, leafFP.AllocBytes)
+	}
+	if mainFP.CumAllocs != 2 {
+		t.Errorf("main cum allocs = %d, want 2", mainFP.CumAllocs)
+	}
+	if got := r.Total(ProfileCPU); got != 23 {
+		t.Errorf("total instrs = %d, want 23", got)
+	}
+	if got := r.Total(ProfileAlloc); got != 2 {
+		t.Errorf("total allocs = %d, want 2", got)
+	}
+}
+
+func TestOpCountsRankOrder(t *testing.T) {
+	r := NewRecorder(Options{OpName: func(op int) string {
+		return map[int]string{1: "mov", 2: "add"}[op]
+	}})
+	runSynthetic(r)
+	ocs := r.OpCounts()
+	if len(ocs) != 2 {
+		t.Fatalf("got %d opcode rows, want 2", len(ocs))
+	}
+	if ocs[0].Name != "add" || ocs[0].Count != 13 {
+		t.Errorf("top opcode = %s/%d, want add/13", ocs[0].Name, ocs[0].Count)
+	}
+	if ocs[1].Name != "mov" || ocs[1].Count != 10 {
+		t.Errorf("second opcode = %s/%d, want mov/10", ocs[1].Name, ocs[1].Count)
+	}
+}
+
+func TestReportMentionsFunctionsAndOpcodes(t *testing.T) {
+	r := NewRecorder(Options{Deterministic: true})
+	runSynthetic(r)
+	rep := r.ReportString(ProfileCPU, 0)
+	for _, want := range []string{"profile: cpu, 23 instrs total", "leaf (3 calls)", "main (1 calls)", "per-opcode profile"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	arep := r.ReportString(ProfileAlloc, 1)
+	if !strings.Contains(arep, "profile: alloc, 2 allocs total") {
+		t.Errorf("alloc report header missing:\n%s", arep)
+	}
+	if strings.Contains(arep, "main (") {
+		t.Errorf("top 1 alloc report should only show leaf:\n%s", arep)
+	}
+}
+
+func TestChromeTraceIsValidJSONAndDeterministic(t *testing.T) {
+	render := func() []byte {
+		r := NewRecorder(Options{Trace: true, Deterministic: true})
+		runSynthetic(r)
+		to := r.threads[1]
+		r.RunSpan(to, 8)
+		r.Switch(1)
+		r.Region(to, true, 0)
+		r.Region(to, false, 0)
+		r.Tx(to, true)
+		r.Tx(to, false)
+		r.Lock(to, true, "bank")
+		r.Lock(to, false, "bank")
+		r.Spawn(1, 2, "worker")
+		var b bytes.Buffer
+		if err := r.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("deterministic traces differ between identical runs")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, a)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	kinds := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		kinds[ph] = true
+		if ph != "M" && ev["ts"] == nil {
+			t.Errorf("event %q lacks ts", name)
+		}
+		if w, ok := ev["args"].(map[string]any); ok {
+			if _, bad := w["wallNs"]; bad {
+				t.Errorf("deterministic trace leaked wallNs in %q", name)
+			}
+		}
+	}
+	for _, ph := range []string{"M", "B", "E", "X", "i"} {
+		if !kinds[ph] {
+			t.Errorf("trace has no %q phase events", ph)
+		}
+	}
+}
+
+func TestNonDeterministicTraceCarriesWallClock(t *testing.T) {
+	r := NewRecorder(Options{Trace: true})
+	runSynthetic(r)
+	evs := r.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	for _, ev := range evs {
+		if ev.Wall == 0 {
+			t.Fatalf("event %s has zero wall clock in non-deterministic mode", ev.Kind)
+		}
+	}
+}
+
+func TestMetricsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	doc := NewMetricsDoc("E1", true)
+	if doc.Generated != "" {
+		t.Errorf("deterministic doc has Generated=%q, want empty", doc.Generated)
+	}
+	doc.Rows = append(doc.Rows, Metrics{
+		Workload: "fib", Mode: "boxed", N: 18,
+		Counters: Counters{Instrs: 1000, BoxAllocs: 42},
+		Derived:  map[string]float64{"boxOverheadPct": 12.5},
+	})
+	path := MetricsPath(dir, "E1")
+	if filepath.Base(path) != "BENCH_E1.json" {
+		t.Fatalf("metrics path = %s", path)
+	}
+	if err := doc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMetricsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != MetricsSchema || len(got.Rows) != 1 || got.Rows[0].Counters.BoxAllocs != 42 {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	// A second write of the same deterministic doc is byte-identical.
+	path2 := MetricsPath(dir, "E1b")
+	if err := doc.WriteFile(path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("deterministic metrics files differ")
+	}
+}

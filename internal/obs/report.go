@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// flatOf and cumOf select the ranked dimension of a profile report.
+func flatOf(fp *FuncProf, dim Profile) uint64 {
+	if dim == ProfileAlloc {
+		return fp.Allocs
+	}
+	return fp.Flat
+}
+
+func cumOf(fp *FuncProf, dim Profile) uint64 {
+	if dim == ProfileAlloc {
+		return fp.CumAllocs
+	}
+	return fp.Cum
+}
+
+// Total returns the whole-run total of the given profile dimension:
+// instructions executed (ProfileCPU) or objects allocated (ProfileAlloc).
+func (r *Recorder) Total(dim Profile) uint64 {
+	if dim == ProfileAlloc {
+		var n uint64
+		for _, to := range r.threads {
+			n += to.Allocs
+		}
+		return n
+	}
+	return r.clock
+}
+
+// WriteTop writes a pprof-style flat/cumulative profile report: one row per
+// function, ranked by exclusive cost, with running-sum and inclusive
+// percentages. n bounds the rows (0 = all). The unit is instructions for
+// ProfileCPU and allocated objects for ProfileAlloc.
+func (r *Recorder) WriteTop(w io.Writer, dim Profile, n int) error {
+	funcs := r.Funcs()
+	sort.SliceStable(funcs, func(i, j int) bool {
+		a, b := flatOf(funcs[i], dim), flatOf(funcs[j], dim)
+		if a != b {
+			return a > b
+		}
+		return funcs[i].Name < funcs[j].Name
+	})
+	total := r.Total(dim)
+	unit := "instrs"
+	if dim == ProfileAlloc {
+		unit = "allocs"
+	}
+	shown := len(funcs)
+	if n > 0 && n < shown {
+		shown = n
+	}
+	var shownFlat uint64
+	for _, fp := range funcs[:shown] {
+		shownFlat += flatOf(fp, dim)
+	}
+	fmt.Fprintf(w, "profile: %s, %d %s total\n", dim, total, unit)
+	fmt.Fprintf(w, "showing top %d of %d functions (%.1f%% of total)\n",
+		shown, len(funcs), pct(shownFlat, total))
+	fmt.Fprintf(w, "%12s %6s %6s %12s %6s  %-s\n", "flat", "flat%", "sum%", "cum", "cum%", "function")
+	var sum uint64
+	for _, fp := range funcs[:shown] {
+		flat, cum := flatOf(fp, dim), cumOf(fp, dim)
+		sum += flat
+		fmt.Fprintf(w, "%12d %5.1f%% %5.1f%% %12d %5.1f%%  %s (%d calls)\n",
+			flat, pct(flat, total), pct(sum, total), cum, pct(cum, total), fp.Name, fp.Calls)
+	}
+	return nil
+}
+
+// WriteOpcodes writes the per-opcode execution histogram, most-executed
+// first. n bounds the rows (0 = all).
+func (r *Recorder) WriteOpcodes(w io.Writer, n int) error {
+	counts := r.OpCounts()
+	total := r.clock
+	shown := len(counts)
+	if n > 0 && n < shown {
+		shown = n
+	}
+	fmt.Fprintf(w, "per-opcode profile: %d instrs over %d distinct opcodes\n", total, len(counts))
+	fmt.Fprintf(w, "%12s %6s %6s  %-s\n", "count", "%", "sum%", "opcode")
+	var sum uint64
+	for _, oc := range counts[:shown] {
+		sum += oc.Count
+		fmt.Fprintf(w, "%12d %5.1f%% %5.1f%%  %s\n", oc.Count, pct(oc.Count, total), pct(sum, total), oc.Name)
+	}
+	return nil
+}
+
+// WriteReport writes the full text report: the flat/cumulative function
+// table followed by the opcode histogram. This is what `bitc top` and
+// `bitc run -profile` print.
+func (r *Recorder) WriteReport(w io.Writer, dim Profile, n int) error {
+	if err := r.WriteTop(w, dim, n); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	return r.WriteOpcodes(w, n)
+}
+
+// pct is a safe percentage.
+func pct(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// ReportString renders WriteReport into a string (testing convenience).
+func (r *Recorder) ReportString(dim Profile, n int) string {
+	var b strings.Builder
+	r.WriteReport(&b, dim, n)
+	return b.String()
+}

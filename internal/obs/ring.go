@@ -1,0 +1,53 @@
+package obs
+
+// Ring is a fixed-capacity event buffer that overwrites its oldest entries
+// when full, so tracing a long run costs bounded memory and keeps the most
+// recent window — the part that usually explains a trap or a perf cliff.
+type Ring struct {
+	buf  []Event
+	head int // next write position
+	n    int // live entries (≤ cap)
+	// Dropped counts events overwritten after the ring filled.
+	Dropped uint64
+}
+
+// NewRing creates a ring holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of live events.
+func (r *Ring) Len() int { return r.n }
+
+// Push appends ev, overwriting the oldest event when full.
+func (r *Ring) Push(ev Event) {
+	if r.n == len(r.buf) {
+		r.Dropped++
+	} else {
+		r.n++
+	}
+	r.buf[r.head] = ev
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+}
+
+// Snapshot returns the live events oldest-first.
+func (r *Ring) Snapshot() []Event {
+	out := make([]Event, 0, r.n)
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array, the subset
+// Perfetto and chrome://tracing both ingest. Field order is fixed by the
+// struct, so marshalled output is deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// tracePid is the synthetic process id of the VM in exported traces.
+const tracePid = 1
+
+// WriteChromeTrace renders the captured event stream as Chrome trace_event
+// JSON (the "JSON Array Format" with an object wrapper), loadable in
+// Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Timestamps are the logical instruction clock presented as microseconds:
+// one executed instruction renders as 1us, so a quantum of 64 instructions
+// is a 64us span. Wall-clock capture times, when the recorder is not
+// Deterministic, ride along in each event's args.wallNs; under
+// Deterministic they are omitted and the output is byte-identical across
+// runs with the same scheduler seed.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	if _, err := fmt.Fprintf(w, "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"instructions (1 instr = 1us)\",\"deterministic\":%v,\"droppedEvents\":%d,\"tool\":\"bitc\"},\"traceEvents\":[",
+		r.opts.Deterministic, r.Dropped()); err != nil {
+		return err
+	}
+	first := true
+	writeEv := func(ce chromeEvent) error {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := w.Write([]byte(",\n")); err != nil {
+				return err
+			}
+		} else {
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return err
+			}
+			first = false
+		}
+		_, err = w.Write(b)
+		return err
+	}
+
+	// Track metadata: name the process and each green thread.
+	if err := writeEv(chromeEvent{Name: "process_name", Cat: "__metadata", Ph: "M",
+		Pid: tracePid, Args: map[string]any{"name": "bitc vm"}}); err != nil {
+		return err
+	}
+	tids := make([]int64, 0, len(r.names))
+	for tid := range r.names {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		if err := writeEv(chromeEvent{Name: "thread_name", Cat: "__metadata", Ph: "M",
+			Pid: tracePid, Tid: tid,
+			Args: map[string]any{"name": fmt.Sprintf("thread %d (%s)", tid, r.names[tid])}}); err != nil {
+			return err
+		}
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{Name: ev.Kind.String(), Ts: ev.Ts, Pid: tracePid, Tid: ev.Tid}
+		args := map[string]any{}
+		if ev.Wall != 0 {
+			args["wallNs"] = ev.Wall
+		}
+		switch ev.Kind {
+		case EvRun:
+			ce.Cat, ce.Ph, ce.Dur = "sched", "X", ev.Dur
+			if ce.Dur == 0 {
+				ce.Dur = 1 // zero-width spans render as invisible
+			}
+		case EvCall:
+			ce.Cat, ce.Ph, ce.Name = "call", "B", ev.Name
+		case EvReturn:
+			ce.Cat, ce.Ph, ce.Name = "call", "E", ev.Name
+		case EvAlloc:
+			ce.Cat, ce.Ph, ce.S = "mem", "i", "t"
+			ce.Name = "alloc " + ev.Name
+			args["bytes"] = ev.Arg
+		case EvBoxRead:
+			ce.Cat, ce.Ph, ce.S = "mem", "i", "g"
+			args["boxReads"] = ev.Arg
+		case EvRegionEnter, EvRegionExit:
+			ce.Cat, ce.Ph, ce.S = "mem", "i", "t"
+			args["region"] = ev.Arg
+		case EvSwitch:
+			ce.Cat, ce.Ph, ce.S = "sched", "i", "p"
+		case EvTxCommit, EvTxAbort:
+			ce.Cat, ce.Ph, ce.S = "stm", "i", "t"
+		case EvLockAcquire, EvLockRelease:
+			ce.Cat, ce.Ph, ce.S = "lock", "i", "t"
+			args["lock"] = ev.Name
+		case EvSpawn:
+			ce.Cat, ce.Ph, ce.S = "sched", "i", "t"
+			args["child"] = ev.Arg
+			args["fn"] = ev.Name
+		case EvThreadStart:
+			ce.Cat, ce.Ph, ce.S = "sched", "i", "t"
+			args["fn"] = ev.Name
+		default:
+			ce.Cat, ce.Ph, ce.S = "misc", "i", "t"
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		if err := writeEv(ce); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write([]byte("\n]}\n"))
+	return err
+}

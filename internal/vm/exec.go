@@ -250,6 +250,9 @@ func (v *VM) exec(t *Thread, fr *Frame, in *ir.Instr) error {
 		id := len(v.regionsAlive)
 		v.regionsAlive = append(v.regionsAlive, true)
 		v.regionCount = append(v.regionCount, 0)
+		if v.obs != nil {
+			v.obs.Region(t.obs, true, int64(id))
+		}
 		fr.regs[in.Dst] = intVal(int64(id))
 		return nil
 
@@ -259,6 +262,9 @@ func (v *VM) exec(t *Thread, fr *Frame, in *ir.Instr) error {
 			return trapf("exiting an invalid region")
 		}
 		v.regionsAlive[id] = false
+		if v.obs != nil {
+			v.obs.Region(t.obs, false, id)
+		}
 		return nil
 
 	case ir.OpSpawn:
@@ -272,6 +278,9 @@ func (v *VM) exec(t *Thread, fr *Frame, in *ir.Instr) error {
 			return trapf("spawn needs a closure")
 		}
 		nt := v.spawnThread(v.mod.Funcs[cl.R.Fn], nil, cl.R.Elems)
+		if v.obs != nil {
+			v.obs.Spawn(t.ID, nt.ID, v.mod.Funcs[cl.R.Fn].Name)
+		}
 		fr.regs[in.Dst] = intVal(nt.ID)
 		return nil
 
@@ -319,6 +328,27 @@ func (v *VM) accountAlloc(o *Object, bytes uint64) {
 		if o.Region < len(v.regionCount) {
 			v.regionCount[o.Region]++
 		}
+	}
+	if v.obs != nil {
+		v.obsAlloc(allocKindName(o.Kind), bytes)
+	}
+}
+
+// allocKindName names an allocation site class for trace events.
+func allocKindName(k ObjKind) string {
+	switch k {
+	case OStruct:
+		return "struct"
+	case OUnion:
+		return "union"
+	case OVector:
+		return "vector"
+	case OClosure:
+		return "closure"
+	case OChan:
+		return "chan"
+	default:
+		return "object"
 	}
 }
 

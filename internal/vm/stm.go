@@ -63,6 +63,9 @@ func (v *VM) atomicEnd(t *Thread) error {
 	}
 	t.txn = nil
 	v.Stats.TxCommits++
+	if v.obs != nil {
+		v.obs.Tx(t.obs, true)
+	}
 	return nil
 }
 
@@ -70,10 +73,18 @@ func (v *VM) atomicEnd(t *Thread) error {
 func (v *VM) atomicRetry(t *Thread) error {
 	tx := t.txn
 	v.Stats.TxAborts++
+	if v.obs != nil {
+		v.obs.Tx(t.obs, false)
+	}
 	if tx.attempts >= maxTxnAttempts {
 		return trapf("transaction aborted %d times; giving up (livelock?)", tx.attempts)
 	}
 	// Unwind any frames pushed inside the transaction and restore registers.
+	if v.obs != nil { // keep the profiler's shadow stack in sync
+		for i := len(t.frames); i > tx.frameDepth; i-- {
+			v.obs.Leave(t.obs)
+		}
+	}
 	t.frames = t.frames[:tx.frameDepth]
 	fr := t.frames[len(t.frames)-1]
 	copy(fr.regs, tx.regs)
@@ -137,6 +148,9 @@ func (v *VM) lockAcquire(t *Thread, fr *Frame, name string) error {
 	}
 	if ls.owner == nil {
 		ls.owner = t
+		if v.obs != nil {
+			v.obs.Lock(t.obs, true, name)
+		}
 		return nil
 	}
 	if ls.owner == t {
@@ -155,11 +169,17 @@ func (v *VM) lockRelease(t *Thread, name string) error {
 	if ls == nil || ls.owner != t {
 		return trapf("thread %d releasing lock %s it does not hold", t.ID, name)
 	}
+	if v.obs != nil {
+		v.obs.Lock(t.obs, false, name)
+	}
 	if len(ls.waiters) > 0 {
 		next := ls.waiters[0]
 		ls.waiters = ls.waiters[1:]
 		ls.owner = next
 		next.state = TRunnable
+		if v.obs != nil {
+			v.obs.Lock(next.obs, true, name)
+		}
 	} else {
 		ls.owner = nil
 	}

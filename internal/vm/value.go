@@ -192,6 +192,8 @@ type Trap struct {
 	Msg string
 }
 
+// Error implements the error interface with the conventional "trap:" prefix
+// tests and callers match on.
 func (t *Trap) Error() string { return "trap: " + t.Msg }
 
 func trapf(format string, args ...any) *Trap {

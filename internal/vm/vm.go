@@ -6,6 +6,7 @@ import (
 
 	"bitc/internal/ir"
 	"bitc/internal/layout"
+	"bitc/internal/obs"
 	"bitc/internal/types"
 )
 
@@ -22,6 +23,8 @@ const (
 	Boxed
 )
 
+// String names the representation mode as it appears in run banners and
+// experiment tables.
 func (m RepMode) String() string {
 	if m == Boxed {
 		return "boxed"
@@ -39,6 +42,11 @@ type Options struct {
 	// RespectNoBox honours the optimiser's NoBox annotations in Boxed mode
 	// (experiment E2 runs with and without it).
 	RespectNoBox bool
+	// Observer attaches a runtime observability recorder (tracing and
+	// per-opcode/per-function profiling). nil disables every hook at the
+	// cost of one predictable branch per hook site; see NewRecorder and
+	// BenchmarkVMObsOverhead.
+	Observer *obs.Recorder
 }
 
 // Stats is the VM's instrumentation, the raw material of the benchmark tables.
@@ -81,6 +89,11 @@ type Frame struct {
 	block int
 	ip    int
 	dst   ir.Reg // caller register receiving the return value
+
+	// prof caches the function's profile counters so the per-instruction
+	// observability hook is two field increments, not a map lookup. nil
+	// when no observer is attached.
+	prof *obs.FuncProf
 }
 
 // Thread is a green thread.
@@ -101,6 +114,9 @@ type Thread struct {
 	yielded bool
 
 	txn *txn
+
+	// obs is the thread's observability state (nil when not observing).
+	obs *obs.ThreadObs
 }
 
 type lockState struct {
@@ -139,6 +155,13 @@ type VM struct {
 	// framePool recycles activation records; the interpreter is
 	// single-threaded (green threads share it), so no locking is needed.
 	framePool []*Frame
+
+	// obs is the attached observability recorder (nil = disabled). Every
+	// hook site guards on it, so the disabled path costs one branch.
+	obs *obs.Recorder
+	// curThread is the thread currently executing a quantum; allocation
+	// hooks use it to attribute work without widening hot signatures.
+	curThread *Thread
 }
 
 // New creates a VM for mod.
@@ -162,11 +185,29 @@ func New(mod *ir.Module, opts Options) *VM {
 	} else {
 		v.stepsLeft = ^uint64(0)
 	}
+	v.obs = opts.Observer
 	return v
+}
+
+// NewRecorder creates an observability recorder with opcode names wired to
+// the IR mnemonics. Pass it in Options.Observer (or core.Config.Observer),
+// run the program, then use the recorder's report and trace writers.
+func NewRecorder(o obs.Options) *obs.Recorder {
+	if o.OpName == nil {
+		o.OpName = func(op int) string { return ir.Op(op).String() }
+	}
+	return obs.NewRecorder(o)
 }
 
 // Mode returns the representation mode.
 func (v *VM) Mode() RepMode { return v.opts.Mode }
+
+// Quantum returns the effective preemption interval after defaulting: a
+// zero-value Options gets 64, applied in exactly one place (New).
+func (v *VM) Quantum() int { return v.opts.Quantum }
+
+// Observer returns the attached observability recorder, or nil.
+func (v *VM) Observer() *obs.Recorder { return v.obs }
 
 func (v *VM) rng() uint64 {
 	// xorshift64*
@@ -257,6 +298,11 @@ func (v *VM) spawnThread(f *ir.Func, args []Value, env []Value) *Thread {
 	}
 	v.nextTid++
 	t := &Thread{ID: v.nextTid, frames: []*Frame{fr}, state: TRunnable}
+	if v.obs != nil {
+		t.obs = v.obs.Thread(t.ID, f.Name)
+		fr.prof = v.obs.FuncProf(f.Name)
+		v.obs.Enter(t.obs, fr.prof)
+	}
 	v.threads = append(v.threads, t)
 	return t
 }
@@ -311,28 +357,42 @@ func (v *VM) pickRunnable() *Thread {
 		return runnable[0]
 	}
 	v.Stats.Switches++
-	return runnable[int(v.rng()%uint64(len(runnable)))]
+	t := runnable[int(v.rng()%uint64(len(runnable)))]
+	if v.obs != nil {
+		v.obs.Switch(t.ID)
+	}
+	return t
 }
 
 // runQuantum executes up to Quantum instructions on t.
 func (v *VM) runQuantum(t *Thread) error {
+	v.curThread = t
+	var spanStart uint64
+	if v.obs != nil {
+		spanStart = v.obs.Clock()
+	}
+	var err error
 	for n := 0; n < v.opts.Quantum; n++ {
 		if t.state != TRunnable || len(t.frames) == 0 {
-			return nil
+			break
 		}
 		if t.yielded {
 			t.yielded = false
-			return nil
+			break
 		}
 		if v.stepsLeft == 0 {
-			return trapf("instruction budget exhausted")
+			err = trapf("instruction budget exhausted")
+			break
 		}
 		v.stepsLeft--
-		if err := v.step(t); err != nil {
-			return err
+		if err = v.step(t); err != nil {
+			break
 		}
 	}
-	return nil
+	if v.obs != nil {
+		v.obs.RunSpan(t.obs, v.obs.Clock()-spanStart)
+	}
+	return err
 }
 
 // step executes one instruction or terminator of t's top frame.
@@ -345,6 +405,9 @@ func (v *VM) step(t *Thread) error {
 	in := &blk.Instrs[fr.ip]
 	fr.ip++
 	v.Stats.Instrs++
+	if v.obs != nil {
+		v.obs.Tick(t.obs, fr.prof, int(in.Op))
+	}
 	return v.exec(t, fr, in)
 }
 
@@ -369,6 +432,9 @@ func (v *VM) terminator(t *Thread, fr *Frame, term ir.Terminator) error {
 			result = unitVal()
 		}
 		t.frames = t.frames[:len(t.frames)-1]
+		if v.obs != nil {
+			v.obs.Leave(t.obs)
+		}
 		if len(t.frames) == 0 {
 			t.result = result
 			t.state = TDone
@@ -410,6 +476,7 @@ func (v *VM) newFrame(f *ir.Func, dst ir.Reg) *Frame {
 			fr.regs = make([]Value, f.NumRegs)
 		}
 		fr.fn, fr.dst, fr.block, fr.ip = f, dst, 0, 0
+		fr.prof = nil
 		return fr
 	}
 	return &Frame{fn: f, regs: make([]Value, f.NumRegs), dst: dst}
@@ -435,6 +502,10 @@ func (v *VM) pushCall(t *Thread, f *ir.Func, args []Value, env []Value, dst ir.R
 	}
 	t.frames = append(t.frames, fr)
 	v.Stats.Calls++
+	if v.obs != nil {
+		fr.prof = v.obs.FuncProf(f.Name)
+		v.obs.Enter(t.obs, fr.prof)
+	}
 	return nil
 }
 
@@ -456,14 +527,32 @@ func (v *VM) boxResult(in *ir.Instr, val Value) Value {
 		val.b = &box{f: val.F}
 		v.Stats.BoxAllocs++
 		v.Stats.BoxBytes += 16
+	default:
+		return val
+	}
+	if v.obs != nil {
+		v.obsAlloc("box", 16)
 	}
 	return val
+}
+
+// obsAlloc charges an allocation to the currently executing function. The
+// caller has already checked v.obs != nil.
+func (v *VM) obsAlloc(kind string, bytes uint64) {
+	t := v.curThread
+	if t == nil || len(t.frames) == 0 {
+		return
+	}
+	v.obs.Alloc(t.obs, t.frames[len(t.frames)-1].prof, kind, bytes)
 }
 
 // loadInt reads an integer operand, paying the unbox cost when it is boxed.
 func (v *VM) loadInt(val Value) int64 {
 	if val.b != nil {
 		v.Stats.BoxReads++
+		if v.obs != nil {
+			v.obs.BoxRead()
+		}
 		return val.b.i
 	}
 	return val.I
@@ -472,6 +561,9 @@ func (v *VM) loadInt(val Value) int64 {
 func (v *VM) loadFloat(val Value) float64 {
 	if val.b != nil {
 		v.Stats.BoxReads++
+		if v.obs != nil {
+			v.obs.BoxRead()
+		}
 		return val.b.f
 	}
 	return val.F

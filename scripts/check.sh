@@ -57,6 +57,10 @@ if [ -n "$gone" ]; then
     echo "note: baseline entries no longer reported (consider 'make lint-baseline'):"
     printf '%s\n' "$gone"
 fi
+# Docs gate: BITC lint codes in docs/lint-codes.md must match the analyzer
+# registry one-to-one (see scripts/docs-check.sh).
+BITC_BIN=/tmp/bitc-check sh scripts/docs-check.sh
+
 rm -f "$current" /tmp/bitc-check
 
 echo "check: all green"

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Docs/registry consistency gate: the set of BITC-* lint codes documented in
+# docs/lint-codes.md must match the analyzer registry exactly (both
+# directions), so a new analyzer cannot ship undocumented and the docs
+# cannot advertise a code that no longer exists. Run via `make docs-check`;
+# `make check` includes it.
+set -e
+cd "$(dirname "$0")/.."
+
+bitc=${BITC_BIN:-}
+if [ -z "$bitc" ]; then
+    bitc=/tmp/bitc-docs-check
+    go build -o "$bitc" ./cmd/bitc
+fi
+
+registry=$(mktemp)
+documented=$(mktemp)
+trap 'rm -f "$registry" "$documented"' EXIT
+
+"$bitc" analyzers -codes | sort -u > "$registry"
+grep -o 'BITC-[A-Z]*[0-9]*' docs/lint-codes.md | sort -u > "$documented"
+
+undocumented=$(comm -23 "$registry" "$documented")
+if [ -n "$undocumented" ]; then
+    echo "docs-check: codes in the analyzer registry but not in docs/lint-codes.md:"
+    printf '%s\n' "$undocumented"
+    exit 1
+fi
+stale=$(comm -13 "$registry" "$documented")
+if [ -n "$stale" ]; then
+    echo "docs-check: codes documented in docs/lint-codes.md but not in the registry:"
+    printf '%s\n' "$stale"
+    exit 1
+fi
+
+# Every required docs page must exist and be non-trivial.
+for f in docs/architecture.md docs/lint-codes.md docs/observability.md; do
+    if [ ! -s "$f" ]; then
+        echo "docs-check: missing or empty $f"
+        exit 1
+    fi
+done
+
+echo "docs-check: $(wc -l < "$registry" | tr -d ' ') lint codes documented, registry and docs agree"
