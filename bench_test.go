@@ -13,6 +13,7 @@ import (
 	"bitc/internal/bench"
 	"bitc/internal/core"
 	"bitc/internal/opt"
+	"bitc/internal/pointsto"
 	"bitc/internal/vm"
 )
 
@@ -92,10 +93,11 @@ func BenchmarkE8SharedState(b *testing.B) { runAll(b, "E8") }
 
 // BenchmarkAnalysisInterproc breaks analyzer cost down by machinery tier
 // over the golden corpus plus the pinned example workloads: the PR-1 style
-// syntactic walks (ffi, escape), the CFG+dataflow passes (definit,
-// deadstore, truncate), the interprocedural summary passes (race, deadlock),
-// and the full suite. The deltas between tiers are the price of
-// flow-sensitivity and of whole-program summaries respectively.
+// syntactic walks (ffi), the CFG+dataflow passes (definit, truncate), the
+// points-to consumers (escape, deadstore), the interprocedural summary
+// passes (race, deadlock), and the full suite. The deltas between tiers are
+// the price of flow-sensitivity, of whole-program points-to, and of
+// bottom-up summaries respectively.
 func BenchmarkAnalysisInterproc(b *testing.B) {
 	files, err := filepath.Glob("internal/core/testdata/*.bitc")
 	if err != nil || len(files) == 0 {
@@ -118,8 +120,9 @@ func BenchmarkAnalysisInterproc(b *testing.B) {
 		name   string
 		enable []string
 	}{
-		{"syntactic", []string{"ffi", "escape"}},
-		{"cfg-dataflow", []string{"definit", "deadstore", "truncate"}},
+		{"syntactic", []string{"ffi"}},
+		{"cfg-dataflow", []string{"definit", "truncate"}},
+		{"pointsto", []string{"escape", "deadstore"}},
 		{"interproc", []string{"race", "deadlock"}},
 		{"full", nil},
 	}
@@ -139,6 +142,45 @@ func BenchmarkAnalysisInterproc(b *testing.B) {
 			b.ReportMetric(float64(findings), "findings/run")
 		})
 	}
+}
+
+// BenchmarkPointsTo measures the whole-program Andersen points-to analysis
+// plus the flow-sensitive lifetime pass in isolation over the golden corpus
+// and the pinned example workloads — the substrate every alias-aware
+// checker shares, so its cost is the floor of the pointsto tier above.
+// Abstract objects per run is reported so a modelling change that silently
+// grows (or collapses) the heap abstraction is visible.
+func BenchmarkPointsTo(b *testing.B) {
+	files, err := filepath.Glob("internal/core/testdata/*.bitc")
+	if err != nil || len(files) == 0 {
+		b.Fatalf("no corpus: %v", err)
+	}
+	pinned, err := filepath.Glob("internal/core/testdata/analyze/*.bitc")
+	if err != nil || len(pinned) == 0 {
+		b.Fatalf("no pinned examples: %v", err)
+	}
+	files = append(files, pinned...)
+	var progs []*core.Program
+	for _, path := range files {
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			b.Fatal(rerr)
+		}
+		progs = append(progs, core.MustLoad(filepath.Base(path), string(src), core.DefaultConfig))
+	}
+	objects, escapes := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		objects, escapes = 0, 0
+		for _, p := range progs {
+			r := pointsto.Analyze(p.AST, p.Info, nil)
+			lt := pointsto.CheckLifetimes(p.AST, p.Info, r)
+			objects += len(r.Objects())
+			escapes += len(lt.Escapes) + len(lt.Uses)
+		}
+	}
+	b.ReportMetric(float64(objects), "objects/run")
+	b.ReportMetric(float64(escapes), "lifetime-findings/run")
 }
 
 // BenchmarkAnalysisDriver measures static-analyzer throughput over the

@@ -24,11 +24,12 @@
 // Analyzers (select with -enable/-disable; codes appear in findings):
 //
 //	deadlock   BITC-DLOCK001/002  lock-order cycles, re-entrant acquisition
-//	deadstore  BITC-DEAD001/002   dead stores, unused let bindings
+//	deadstore  BITC-DEAD001/002   dead (alias-aware) stores, unused bindings
 //	definit    BITC-INIT001       mutable locals read before first set!
-//	escape     BITC-ESCAPE001     region values outliving their region
+//	escape     BITC-ESCAPE001/002 region values outliving their region;
+//	                              uses after a region definitely exited
 //	ffi        BITC-FFI001/002/003 C-ABI boundary violations
-//	race       BITC-RACE001       lockset data races
+//	race       BITC-RACE001       lockset data races (through aliases too)
 //	truncate   BITC-TRUNC001/002  casts that can lose bits
 package main
 

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"bitc/internal/regions"
+	"bitc/internal/pointsto"
 	"bitc/internal/source"
 )
 
@@ -12,15 +12,21 @@ import (
 // summary engine derives (see summary.go): Eraser-style lockset pairing over
 // accesses reachable from entry points, with helper calls resolved through
 // bottom-up summaries instead of a depth-bounded inline walk. The escape
-// analyzer adapts internal/regions' checker onto the unified driver. Both
-// are whole-program: races need cross-function spawn reachability and
-// escapes are reported per definition anyway.
+// analyzer runs internal/pointsto's lifetime pass — a flow-sensitive check
+// over each function's CFG, alias-aware through the whole-program Andersen
+// points-to results. Both are whole-program: races need cross-function spawn
+// reachability and lifetimes need interprocedural points-to sets.
 
 // CodeRace is emitted for a lockset race between two shared accesses.
 const CodeRace = "BITC-RACE001"
 
 // CodeEscape is emitted when a region allocation may outlive its region.
 const CodeEscape = "BITC-ESCAPE001"
+
+// CodeUseAfterExit is emitted when a reference is dereferenced after its
+// region's dynamic extent has definitely ended — the static twin of the
+// VM's use-after-region-exit trap, so it is error severity.
+const CodeUseAfterExit = "BITC-ESCAPE002"
 
 var raceAnalyzer = register(&Analyzer{
 	Name:           "race",
@@ -53,13 +59,45 @@ func rw(write bool) string {
 }
 
 var escapeAnalyzer = register(&Analyzer{
-	Name: "escape",
-	Doc:  "region escape analysis: values that may outlive their region's dynamic extent",
-	Code: CodeEscape,
+	Name:          "escape",
+	Doc:           "region lifetime analysis: values that may outlive their region (alias-aware), and uses after a region's extent definitely ended",
+	Code:          CodeEscape,
+	Codes:         []string{CodeEscape, CodeUseAfterExit},
+	NeedsCFG:      true,
+	NeedsPointsTo: true,
 	Run: func(p *Pass) {
-		for _, e := range regions.Check(p.Prog, p.Info) {
-			p.Reportf(CodeEscape, source.Warning, e.Span,
-				"%s: value from region %s may escape: %s", e.Func, e.Region, e.Reason)
+		lt := pointsto.CheckLifetimes(p.Prog, p.Info, p.PointsTo)
+		for _, e := range lt.Escapes {
+			f := Finding{
+				Code:     CodeEscape,
+				Severity: source.Warning,
+				Span:     e.Span,
+				Message: fmt.Sprintf("%s: value from region %s may escape: %s",
+					e.Fn, e.Region, e.Reason),
+			}
+			if e.Alloc != nil && e.Alloc.Span.IsValid() && e.Alloc.Span != e.Span {
+				f.Related = []Related{{
+					Span:    e.Alloc.Span,
+					Message: e.Alloc.Describe(),
+				}}
+			}
+			p.Report(f)
+		}
+		for _, u := range lt.Uses {
+			f := Finding{
+				Code:     CodeUseAfterExit,
+				Severity: source.Error,
+				Span:     u.Span,
+				Message: fmt.Sprintf("%s: use after region %s exited: this dereference traps at runtime",
+					u.Fn, u.Region),
+			}
+			if u.Alloc != nil && u.Alloc.Span.IsValid() && u.Alloc.Span != u.Span {
+				f.Related = []Related{{
+					Span:    u.Alloc.Span,
+					Message: u.Alloc.Describe(),
+				}}
+			}
+			p.Report(f)
 		}
 	},
 })

@@ -18,6 +18,7 @@ import (
 
 	"bitc/internal/ast"
 	"bitc/internal/cfg"
+	"bitc/internal/pointsto"
 	"bitc/internal/source"
 	"bitc/internal/types"
 )
@@ -56,6 +57,9 @@ type Pass struct {
 	// Summaries is the interprocedural summary set, populated by the driver
 	// before any analyzer with NeedsSummaries runs.
 	Summaries *Summaries
+	// PointsTo is the whole-program Andersen analysis, populated by the
+	// driver before any analyzer with NeedsPointsTo runs.
+	PointsTo *pointsto.Result
 
 	cfgs     map[*ast.DefineFunc]*cfg.Graph
 	analyzer *Analyzer
@@ -98,10 +102,14 @@ type Analyzer struct {
 	PerFunction bool
 	// NeedsCFG asks the driver to prebuild per-function control-flow graphs
 	// before this analyzer runs; NeedsSummaries asks for the interprocedural
-	// function summaries (computed bottom-up over call-graph SCCs). Both are
-	// computed once per driver run and shared by every dependent pass.
+	// function summaries (computed bottom-up over call-graph SCCs);
+	// NeedsPointsTo asks for the whole-program Andersen points-to analysis
+	// (which the summaries also consume for alias-aware shared accesses).
+	// All are computed once per driver run and shared by every dependent
+	// pass.
 	NeedsCFG       bool
 	NeedsSummaries bool
+	NeedsPointsTo  bool
 	Run            func(*Pass)
 }
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"bitc/internal/ast"
 	"bitc/internal/cfg"
 	"bitc/internal/dataflow"
 	"bitc/internal/source"
@@ -13,14 +14,21 @@ import (
 //
 //   - BITC-DEAD001: a (set! x e) whose stored value can never be read,
 //     decided by backward liveness over the function's CFG — the store is
-//     dead exactly when x is not live immediately after it on any path;
+//     dead exactly when x is not live immediately after it on any path —
+//     or a (set-field! o f e) on an object whose field f is never loaded
+//     anywhere in the program;
 //   - BITC-DEAD002: a let binding that is never used at all (or a mutable
 //     binding that is written but never read), decided by counting use/def
 //     atoms of the alpha-renamed local (so shadowing never miscounts).
 //
 // Variables captured by a lambda or spawn are exempt from DEAD001: the
 // closure can run after any store, so no store to them is provably dead.
-// Names starting with '_' are exempt by convention.
+// Field stores are judged through the points-to results, so a store
+// observable through *any* aliased handle — a let-bound copy, a global the
+// object reaches, a reference that leaked to unknown code — is never
+// flagged; only stores into provably confined objects whose field no alias
+// ever reads count as dead. Names starting with '_' are exempt by
+// convention.
 
 // Dead-code lint codes.
 const (
@@ -29,13 +37,14 @@ const (
 )
 
 var deadstoreAnalyzer = register(&Analyzer{
-	Name:        "deadstore",
-	Doc:         "liveness-based dead stores and unused let bindings",
-	Code:        CodeDeadStore,
-	Codes:       []string{CodeDeadStore, CodeUnusedBinding},
-	PerFunction: true,
-	NeedsCFG:    true,
-	Run:         runDeadStore,
+	Name:          "deadstore",
+	Doc:           "liveness-based dead stores, alias-aware dead field stores, and unused let bindings",
+	Code:          CodeDeadStore,
+	Codes:         []string{CodeDeadStore, CodeUnusedBinding},
+	PerFunction:   true,
+	NeedsCFG:      true,
+	NeedsPointsTo: true,
+	Run:           runDeadStore,
 })
 
 func runDeadStore(p *Pass) {
@@ -110,6 +119,42 @@ func runDeadStore(p *Pass) {
 					"value stored to %s is never read", d.Src)
 			}
 		}
+	}
+
+	deadFieldStores(p)
+}
+
+// deadFieldStores flags (set-field! o f e) when no execution can observe
+// the stored value: every object o may point to is allocated in a known
+// function, never leaks to unknown code, is unreachable from any global,
+// and has no load of field f anywhere in the program. Any alias of the
+// object shares its abstract identity, so a read through a different handle
+// (or any escape that could hide one) keeps the store alive.
+func deadFieldStores(p *Pass) {
+	pts := p.PointsTo
+	if pts == nil {
+		return
+	}
+	visit := func(e ast.Expr) bool {
+		fs, ok := e.(*ast.FieldSet)
+		if !ok {
+			return true
+		}
+		objs := pts.ExprObjects(fs.Expr)
+		if len(objs) == 0 {
+			return true
+		}
+		for _, o := range objs {
+			if o.Fn == "" || pts.GlobalReachable(o) || pts.FieldLoaded(o, fs.Name) {
+				return true
+			}
+		}
+		p.Reportf(CodeDeadStore, source.Warning, fs.Span(),
+			"field %s is never read through any alias of this object", fs.Name)
+		return true
+	}
+	for _, e := range p.Fn.Body {
+		ast.Walk(e, visit)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"bitc/internal/ast"
 	"bitc/internal/cfg"
+	"bitc/internal/pointsto"
 	"bitc/internal/source"
 	"bitc/internal/types"
 )
@@ -110,21 +111,35 @@ func Run(prog *ast.Program, info *types.Info, opts Options) (*Report, error) {
 
 	// Shared prerequisites are computed once, sequentially, before the pool
 	// starts: function summaries must exist before any interprocedural pass
-	// runs, and CFGs are shared read-only by every flow-sensitive pass. Both
-	// are deterministic, so they do not disturb the byte-identical-report
-	// guarantee.
-	var cfgs map[*ast.DefineFunc]*cfg.Graph
-	var summaries *Summaries
+	// runs, CFGs are shared read-only by every flow-sensitive pass, and the
+	// points-to results feed both the lifetime checkers and the alias-aware
+	// summaries. All are deterministic, so they do not disturb the
+	// byte-identical-report guarantee.
+	needCFG, needPts, needSums := false, false, false
 	for _, a := range selected {
-		if a.NeedsCFG && cfgs == nil {
-			cfgs = make(map[*ast.DefineFunc]*cfg.Graph, len(funcs))
-			for _, fn := range funcs {
-				cfgs[fn] = cfg.Build(fn)
-			}
+		needCFG = needCFG || a.NeedsCFG
+		needPts = needPts || a.NeedsPointsTo
+		needSums = needSums || a.NeedsSummaries
+	}
+	// The points-to analysis is built over the CFGs, and the summaries
+	// resolve aliased shared accesses through the points-to sets.
+	needCFG = needCFG || needPts || needSums
+	needPts = needPts || needSums
+
+	var cfgs map[*ast.DefineFunc]*cfg.Graph
+	var pts *pointsto.Result
+	var summaries *Summaries
+	if needCFG {
+		cfgs = make(map[*ast.DefineFunc]*cfg.Graph, len(funcs))
+		for _, fn := range funcs {
+			cfgs[fn] = cfg.Build(fn)
 		}
-		if a.NeedsSummaries && summaries == nil {
-			summaries = ComputeSummaries(prog, info)
-		}
+	}
+	if needPts {
+		pts = pointsto.Analyze(prog, info, cfgs)
+	}
+	if needSums {
+		summaries = ComputeSummaries(prog, info, pts)
 	}
 
 	var tasks []task
@@ -153,7 +168,8 @@ func Run(prog *ast.Program, info *types.Info, opts Options) (*Report, error) {
 	runTask := func(t task) {
 		pass := &Pass{
 			Prog: prog, Info: info, Fn: t.fn,
-			Summaries: summaries, cfgs: cfgs, analyzer: t.analyzer,
+			Summaries: summaries, PointsTo: pts,
+			cfgs: cfgs, analyzer: t.analyzer,
 		}
 		t.analyzer.Run(pass)
 		results[t.slot] = pass.findings

@@ -3,9 +3,18 @@ package analysis
 import (
 	"encoding/json"
 	"io"
+	"strings"
 
 	"bitc/internal/source"
 )
+
+// lintDocURI is the repo-relative location of the lint-code reference; each
+// rule's helpUri appends the code's lowercase anchor (the doc carries
+// explicit `<a id="bitc-xxx001">` anchors, so the links are stable against
+// heading rewording). Repo-relative URIs keep the log honest — there is no
+// hosted doc site to point at — and review tools resolve them against the
+// repository root like any artifactLocation.
+const lintDocURI = "docs/lint-codes.md"
 
 // SARIF 2.1.0 output, the minimal subset most code-review tools ingest: one
 // run, a tool.driver with one reportingDescriptor per lint code that fired,
@@ -36,6 +45,7 @@ type sarifDriver struct {
 type sarifRule struct {
 	ID               string       `json:"id"`
 	ShortDescription sarifMessage `json:"shortDescription"`
+	HelpURI          string       `json:"helpUri,omitempty"`
 }
 
 type sarifMessage struct {
@@ -99,7 +109,11 @@ func (r *Report) WriteSARIF(w io.Writer) error {
 		if a := ByName(f.Analyzer); a != nil {
 			doc = a.Doc
 		}
-		rules = append(rules, sarifRule{ID: f.Code, ShortDescription: sarifMessage{Text: doc}})
+		rules = append(rules, sarifRule{
+			ID:               f.Code,
+			ShortDescription: sarifMessage{Text: doc},
+			HelpURI:          lintDocURI + "#" + strings.ToLower(f.Code),
+		})
 	}
 
 	results := []sarifResult{}
@@ -138,7 +152,7 @@ func (r *Report) WriteSARIF(w io.Writer) error {
 		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
 		Version: "2.1.0",
 		Runs: []sarifRun{{
-			Tool:    sarifTool{Driver: sarifDriver{Name: "bitc", InformationURI: "https://example.invalid/bitc", Rules: rules}},
+			Tool:    sarifTool{Driver: sarifDriver{Name: "bitc", InformationURI: lintDocURI, Rules: rules}},
 			Results: results,
 		}},
 	}

@@ -7,6 +7,7 @@ import (
 
 	"bitc/internal/ast"
 	"bitc/internal/concurrent"
+	"bitc/internal/pointsto"
 	"bitc/internal/source"
 	"bitc/internal/types"
 )
@@ -67,12 +68,17 @@ type Summaries struct {
 }
 
 // ComputeSummaries builds every function's effects bottom-up and derives the
-// whole-program race and lock-order facts.
-func ComputeSummaries(prog *ast.Program, info *types.Info) *Summaries {
+// whole-program race and lock-order facts. pts, when non-nil, resolves
+// shared-access bases through the points-to sets, so an access through an
+// aliased handle (a let-bound copy of a global, a parameter the global was
+// passed as) is unified with direct accesses of the same global; nil falls
+// back to recognising only direct global references.
+func ComputeSummaries(prog *ast.Program, info *types.Info, pts *pointsto.Result) *Summaries {
 	cg := BuildCallGraph(prog)
 	sb := &summaryBuilder{
 		info:    info,
 		cg:      cg,
+		pts:     pts,
 		effects: map[string]*FuncEffects{},
 		shared:  map[string]bool{},
 	}
@@ -153,6 +159,7 @@ func ComputeSummaries(prog *ast.Program, info *types.Info) *Summaries {
 type summaryBuilder struct {
 	info    *types.Info
 	cg      *CallGraph
+	pts     *pointsto.Result
 	effects map[string]*FuncEffects
 	shared  map[string]bool
 }
@@ -236,13 +243,13 @@ func (sb *summaryBuilder) walk(e ast.Expr, ctx *walkCtx) {
 		sb.walk(e.Expr, &inner)
 
 	case *ast.FieldRef:
-		if g := sb.globalTarget(e.Expr); g != "" {
+		for _, g := range sb.sharedTargets(e.Expr) {
 			sb.record(ctx, g, e.Name, false, e.Span())
 		}
 		sb.walk(e.Expr, ctx)
 
 	case *ast.FieldSet:
-		if g := sb.globalTarget(e.Expr); g != "" {
+		for _, g := range sb.sharedTargets(e.Expr) {
 			sb.record(ctx, g, e.Name, true, e.Span())
 		}
 		sb.walk(e.Expr, ctx)
@@ -324,15 +331,35 @@ func (sb *summaryBuilder) append(ctx *walkCtx, ac concurrent.Access) {
 	ctx.eff.Accesses = append(ctx.eff.Accesses, ac)
 }
 
-func (sb *summaryBuilder) globalTarget(e ast.Expr) string {
-	v, ok := e.(*ast.VarRef)
-	if !ok {
-		return ""
+// sharedTargets names the shared globals a field access on base may touch.
+// A direct reference to a shared global is always recognised; with
+// points-to results, any base expression whose set contains an object a
+// shared global names resolves to that global — each object is attributed
+// to its sorted-first global so aliases of the same storage unify onto one
+// location name.
+func (sb *summaryBuilder) sharedTargets(e ast.Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	if v, ok := e.(*ast.VarRef); ok {
+		if sym := sb.info.Uses[v]; sym != nil && sym.Kind == types.SymGlobal && sb.shared[v.Name] {
+			seen[v.Name] = true
+			out = append(out, v.Name)
+		}
 	}
-	if sym := sb.info.Uses[v]; sym != nil && sym.Kind == types.SymGlobal && sb.shared[v.Name] {
-		return v.Name
+	if sb.pts != nil {
+		for _, o := range sb.pts.ExprObjects(e) {
+			gs := sb.pts.GlobalsOf(o)
+			if len(gs) == 0 {
+				continue
+			}
+			if g := gs[0]; sb.shared[g] && !seen[g] {
+				seen[g] = true
+				out = append(out, g)
+			}
+		}
 	}
-	return ""
+	sort.Strings(out)
+	return out
 }
 
 func accessKey(ac concurrent.Access) string {

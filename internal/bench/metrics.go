@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"bitc/internal/analysis"
 	"bitc/internal/core"
 	"bitc/internal/obs"
 	"bitc/internal/opt"
@@ -16,7 +17,7 @@ import (
 )
 
 // MetricsExperiments lists the experiments with a metrics exporter.
-func MetricsExperiments() []string { return []string{"E1", "E8"} }
+func MetricsExperiments() []string { return []string{"E1", "E8", "EA"} }
 
 // CollectMetrics runs the named experiment's workloads and returns the
 // metrics document. With deterministic set, wall-clock fields are zeroed so
@@ -27,6 +28,8 @@ func CollectMetrics(id string, p Params, deterministic bool) (*obs.MetricsDoc, e
 		return metricsE1(p, deterministic)
 	case "E8":
 		return metricsE8(p, deterministic)
+	case "EA":
+		return metricsEA(p, deterministic)
 	default:
 		return nil, fmt.Errorf("no metrics exporter for experiment %q (have %v)", id, MetricsExperiments())
 	}
@@ -100,6 +103,55 @@ func metricsE1(p Params, deterministic bool) (*obs.MetricsDoc, error) {
 			}
 		}
 		doc.Rows = append(doc.Rows, un, bx)
+	}
+	return doc, nil
+}
+
+// metricsEA exports static-analysis cost: the full analyzer suite over the
+// canonical workloads plus the unsynchronised bank workload, under the
+// sequential and the parallel driver. AnalysisNS carries the wall time (the
+// analysis runs no VM, so the run counters stay zero) and the finding count
+// lands in Derived so a checker regression that changes coverage shows up
+// in trajectory diffs too.
+func metricsEA(p Params, deterministic bool) (*obs.MetricsDoc, error) {
+	doc := obs.NewMetricsDoc("EA", deterministic)
+	type target struct {
+		name string
+		src  string
+	}
+	var targets []target
+	for _, w := range workloads() {
+		targets = append(targets, target{w.name, w.src})
+	}
+	targets = append(targets, target{"bankstm", bankSrc("none", int64(100*p.Scale))})
+	for _, tg := range targets {
+		prog, err := core.Load(tg.name, tg.src, core.Config{Optimize: opt.O2})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tg.name, err)
+		}
+		for _, mode := range []struct {
+			name        string
+			parallelism int
+		}{{"sequential", 1}, {"parallel", 0}} {
+			start := time.Now()
+			rep, err := prog.Analyze(analysis.Options{Parallelism: mode.parallelism})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", tg.name, mode.name, err)
+			}
+			wall := time.Since(start).Nanoseconds()
+			if deterministic {
+				wall = 0
+			}
+			doc.Rows = append(doc.Rows, obs.Metrics{
+				Workload:   tg.name,
+				Mode:       mode.name,
+				AnalysisNS: wall,
+				Derived: map[string]float64{
+					"findings":   float64(len(rep.Findings)),
+					"suppressed": float64(len(rep.Suppressed)),
+				},
+			})
+		}
 	}
 	return doc, nil
 }

@@ -85,6 +85,42 @@ func TestMetricsE8AbortRate(t *testing.T) {
 	}
 }
 
+// TestMetricsEAAnalysisWallTime checks the static-analysis exporter: every
+// workload appears under both driver modes, both modes agree on the finding
+// count (the byte-identical-report guarantee, seen through metrics), the
+// racy bank workload is actually flagged, and deterministic collection
+// zeroes the analysis wall time.
+func TestMetricsEAAnalysisWallTime(t *testing.T) {
+	doc, err := CollectMetrics("EA", Quick, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Experiment != "EA" || len(doc.Rows) == 0 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	findings := map[string]map[string]float64{}
+	for _, row := range doc.Rows {
+		if row.AnalysisNS != 0 {
+			t.Errorf("%s/%s: deterministic run has analysisNs = %d", row.Workload, row.Mode, row.AnalysisNS)
+		}
+		if findings[row.Workload] == nil {
+			findings[row.Workload] = map[string]float64{}
+		}
+		findings[row.Workload][row.Mode] = row.Derived["findings"]
+	}
+	for w, modes := range findings {
+		if len(modes) != 2 {
+			t.Errorf("%s: want sequential+parallel rows, got %v", w, modes)
+		}
+		if modes["sequential"] != modes["parallel"] {
+			t.Errorf("%s: finding counts diverge across driver modes: %v", w, modes)
+		}
+	}
+	if findings["bankstm"]["sequential"] == 0 {
+		t.Error("unsynchronised bank workload produced no findings")
+	}
+}
+
 // TestMetricsUnknownExperiment checks the exporter rejects ids without a
 // metrics mapping instead of writing an empty document.
 func TestMetricsUnknownExperiment(t *testing.T) {

@@ -43,6 +43,10 @@ const (
 	OpCall
 	// OpSpawn starts a new thread running Expr's deferred atoms.
 	OpSpawn
+	// OpRegionEnter and OpRegionExit bracket a with-region body; Name is
+	// the unique (alpha-renamed) region name.
+	OpRegionEnter
+	OpRegionExit
 )
 
 // String names the atom kind for diagnostics and CFG dumps.
@@ -64,6 +68,10 @@ func (o Op) String() string {
 		return "call"
 	case OpSpawn:
 		return "spawn"
+	case OpRegionEnter:
+		return "region+"
+	case OpRegionExit:
+		return "region-"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }
@@ -132,6 +140,15 @@ type Graph struct {
 	// Rename maps every resolved VarRef to the unique name of the local it
 	// denotes (globals and functions are absent).
 	Rename map[*ast.VarRef]string
+	// RegionName maps each with-region form to the unique name of the
+	// region it opens (regions are alpha-renamed like locals).
+	RegionName map[*ast.WithRegion]string
+	// RegionRename maps each alloc-in to the unique name of the region it
+	// allocates into.
+	RegionRename map[*ast.AllocIn]string
+	// RegionParent maps a unique region name to the unique name of the
+	// region lexically enclosing it ("" for outermost regions).
+	RegionParent map[string]string
 
 	rpo []*Block
 }
@@ -140,9 +157,12 @@ type Graph struct {
 // indices, atom order, and unique names depend only on the AST.
 func Build(fn *ast.DefineFunc) *Graph {
 	g := &Graph{
-		Fn:     fn,
-		Decls:  map[string]*Decl{},
-		Rename: map[*ast.VarRef]string{},
+		Fn:           fn,
+		Decls:        map[string]*Decl{},
+		Rename:       map[*ast.VarRef]string{},
+		RegionName:   map[*ast.WithRegion]string{},
+		RegionRename: map[*ast.AllocIn]string{},
+		RegionParent: map[string]string{},
 	}
 	b := &builder{g: g, counts: map[string]int{}}
 	b.cur = b.newBlock()
@@ -275,6 +295,13 @@ type builder struct {
 	// selfTarget is the unique name being assigned while walking a set!
 	// RHS, for the SelfUpdate exemption ("" when not in a set! RHS).
 	selfTarget string
+	// regions is the stack of lexically open with-region scopes.
+	regions []regionScope
+}
+
+type regionScope struct {
+	src    string // source-level region name
+	unique string // alpha-renamed name
 }
 
 func (b *builder) newBlock() *Block {
@@ -465,12 +492,31 @@ func (b *builder) expr(e ast.Expr) {
 		b.emit(Atom{Op: OpEval, Expr: e})
 
 	case *ast.WithRegion:
+		unique := e.Name
+		if n := b.counts["region "+e.Name]; n > 0 {
+			unique = fmt.Sprintf("%s#%d", e.Name, n)
+		}
+		b.counts["region "+e.Name]++
+		b.g.RegionName[e] = unique
+		if len(b.regions) > 0 {
+			b.g.RegionParent[unique] = b.regions[len(b.regions)-1].unique
+		}
+		b.regions = append(b.regions, regionScope{src: e.Name, unique: unique})
+		b.emit(Atom{Op: OpRegionEnter, Expr: e, Name: unique})
 		for _, s := range e.Body {
 			b.expr(s)
 		}
+		b.emit(Atom{Op: OpRegionExit, Expr: e, Name: unique})
+		b.regions = b.regions[:len(b.regions)-1]
 		b.emit(Atom{Op: OpEval, Expr: e})
 
 	case *ast.AllocIn:
+		for i := len(b.regions) - 1; i >= 0; i-- {
+			if b.regions[i].src == e.Region {
+				b.g.RegionRename[e] = b.regions[i].unique
+				break
+			}
+		}
 		b.expr(e.Expr)
 		b.emit(Atom{Op: OpEval, Expr: e})
 

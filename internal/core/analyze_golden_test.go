@@ -10,11 +10,11 @@ import (
 	"bitc/internal/core"
 )
 
-// TestAnalyzeGolden pins the exact `analyze -json` output for the shipped
-// example programs: the three examples/progs sources plus the four example
-// workloads mirrored in testdata/analyze. Any change to a checker, to
-// finding ordering, or to the JSON schema shows up here as a byte diff.
-// Regenerate with:
+// TestAnalyzeGolden pins the exact analyzer output for the shipped example
+// programs — the three examples/progs sources plus the six example
+// workloads mirrored in testdata/analyze — in all three report formats
+// (text, JSON, SARIF). Any change to a checker, to finding ordering, or to
+// a report schema shows up here as a byte diff. Regenerate with:
 //
 //	BITC_UPDATE_GOLDEN=1 go test ./internal/core -run TestAnalyzeGolden
 func TestAnalyzeGolden(t *testing.T) {
@@ -25,8 +25,8 @@ func TestAnalyzeGolden(t *testing.T) {
 	}
 	inputs = append(inputs, progs...)
 	pinned, err := filepath.Glob("testdata/analyze/*.bitc")
-	if err != nil || len(pinned) != 4 {
-		t.Fatalf("want the 4 pinned example programs, got %d (%v)", len(pinned), err)
+	if err != nil || len(pinned) != 6 {
+		t.Fatalf("want the 6 pinned example programs, got %d (%v)", len(pinned), err)
 	}
 	inputs = append(inputs, pinned...)
 
@@ -46,24 +46,34 @@ func TestAnalyzeGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			var buf bytes.Buffer
-			if err := rep.WriteJSON(&buf); err != nil {
-				t.Fatal(err)
+			formats := []struct {
+				ext   string
+				write func(*bytes.Buffer) error
+			}{
+				{"json", func(b *bytes.Buffer) error { return rep.WriteJSON(b) }},
+				{"sarif", func(b *bytes.Buffer) error { return rep.WriteSARIF(b) }},
+				{"txt", func(b *bytes.Buffer) error { rep.Render(b); return nil }},
 			}
-			goldenPath := filepath.Join("testdata", "analyze", name+".golden.json")
-			if update {
-				if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			for _, f := range formats {
+				var buf bytes.Buffer
+				if err := f.write(&buf); err != nil {
 					t.Fatal(err)
 				}
-				return
-			}
-			want, err := os.ReadFile(goldenPath)
-			if err != nil {
-				t.Fatalf("missing golden (run with BITC_UPDATE_GOLDEN=1 to create): %v", err)
-			}
-			if !bytes.Equal(buf.Bytes(), want) {
-				t.Errorf("analyze -json output drifted from %s:\n--- got\n%s\n--- want\n%s",
-					goldenPath, buf.Bytes(), want)
+				goldenPath := filepath.Join("testdata", "analyze", name+".golden."+f.ext)
+				if update {
+					if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(goldenPath)
+				if err != nil {
+					t.Fatalf("missing golden (run with BITC_UPDATE_GOLDEN=1 to create): %v", err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Errorf("analyze %s output drifted from %s:\n--- got\n%s\n--- want\n%s",
+						f.ext, goldenPath, buf.Bytes(), want)
+				}
 			}
 		})
 	}

@@ -163,6 +163,38 @@ func Solve[F any](g *cfg.Graph, p Problem[F]) *Result[F] {
 	return res
 }
 
+// AtomProblem is a Problem whose block transfer is the in-order
+// composition of a per-atom Step. Step must treat its input as immutable
+// (copy-on-write), because the replay helpers feed it facts that are still
+// referenced by the solver's Result.
+type AtomProblem[F any] interface {
+	Problem[F]
+	Step(f F, a cfg.Atom) F
+}
+
+// TransferAtoms folds Step over a block's atoms in evaluation order; an
+// AtomProblem's Transfer is typically exactly this call.
+func TransferAtoms[F any](p AtomProblem[F], b *cfg.Block, in F) F {
+	f := in
+	for _, a := range b.Atoms {
+		f = p.Step(f, a)
+	}
+	return f
+}
+
+// VisitAtoms replays a solved forward AtomProblem through block b, calling
+// visit with each atom's index and the fact in force immediately before
+// it. Checkers use this to recover per-atom facts from the per-block
+// fixpoint without duplicating the transfer rules; visit must not mutate
+// the fact it receives.
+func VisitAtoms[F any](p AtomProblem[F], res *Result[F], b *cfg.Block, visit func(i int, before F)) {
+	f := res.In[b.Index]
+	for i, a := range b.Atoms {
+		visit(i, f)
+		f = p.Step(f, a)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Name sets (the bit-vector fact shared by the canned instances)
 // ---------------------------------------------------------------------------

@@ -46,6 +46,10 @@ type Metrics struct {
 	// collected deterministically (wall time is the one nondeterministic
 	// field, so deterministic trajectories zero it).
 	WallNS int64 `json:"wallNs"`
+	// AnalysisNS is the wall time of the static-analysis driver over the
+	// workload, in nanoseconds; 0 when not measured or when the run was
+	// collected deterministically. Additive in bitc-metrics/v1.
+	AnalysisNS int64 `json:"analysisNs,omitempty"`
 	// Counters are the VM's counters at the end of the run.
 	Counters Counters `json:"counters"`
 	// Derived holds ratios computed from counters (e.g. "boxOverheadPct"),

@@ -1,6 +1,13 @@
 // Package regions implements the static side of bitc's region-based memory
-// management (challenge 2): a conservative escape checker that warns when a
-// value allocated in a region can outlive the region's dynamic extent.
+// management (challenge 2): an escape checker that warns when a value
+// allocated in a region can outlive the region's dynamic extent.
+//
+// The seed-era checker here was a purely syntactic taint walk; it is now a
+// thin compatibility wrapper over internal/pointsto, which runs a
+// whole-program Andersen points-to analysis plus a flow-sensitive lifetime
+// pass over each function's CFG. This keeps the original Check API (used
+// by core.(*Program).CheckRegions) while the unified analysis driver
+// consumes the richer pointsto results directly.
 //
 // The VM already traps use-after-region-exit dynamically; this pass moves
 // the common cases of that failure to compile time, which is the paper's
@@ -11,6 +18,7 @@ import (
 	"fmt"
 
 	"bitc/internal/ast"
+	"bitc/internal/pointsto"
 	"bitc/internal/source"
 	"bitc/internal/types"
 )
@@ -27,184 +35,21 @@ func (e Escape) String() string {
 	return fmt.Sprintf("%s: value from region %s may escape: %s", e.Func, e.Region, e.Reason)
 }
 
-// Check analyses every function and returns potential escapes.
+// Check analyses every function and returns potential escapes: values that
+// may outlive their region, plus definite uses after a region's exit (the
+// lifetime pass's stronger verdict, folded in here for API compatibility).
 func Check(prog *ast.Program, info *types.Info) []Escape {
+	r := pointsto.Analyze(prog, info, nil)
+	lt := pointsto.CheckLifetimes(prog, info, r)
 	var out []Escape
-	for _, d := range prog.Defs {
-		if fn, ok := d.(*ast.DefineFunc); ok {
-			c := &checker{info: info, fn: fn.Name}
-			for _, e := range fn.Body {
-				c.expr(e, nil)
-			}
-			out = append(out, c.escapes...)
-		}
+	for _, e := range lt.Escapes {
+		out = append(out, Escape{Span: e.Span, Region: e.Region, Func: e.Fn, Reason: e.Reason})
+	}
+	for _, u := range lt.Uses {
+		out = append(out, Escape{
+			Span: u.Span, Region: u.Region, Func: u.Fn,
+			Reason: "used after its region exited",
+		})
 	}
 	return out
-}
-
-type regionScope struct {
-	parent *regionScope
-	name   string
-	// tainted names let-bound (directly or transitively) to values
-	// allocated in this region.
-	tainted map[string]bool
-}
-
-type checker struct {
-	info    *types.Info
-	fn      string
-	escapes []Escape
-}
-
-func (c *checker) escape(span source.Span, region, reason string) {
-	c.escapes = append(c.escapes, Escape{Span: span, Region: region, Func: c.fn, Reason: reason})
-}
-
-// taintOf returns the region name whose allocation flows into e (tracking
-// direct alloc-in forms and let-bound aliases), or "".
-func taintOf(e ast.Expr, rs *regionScope) string {
-	switch e := e.(type) {
-	case *ast.AllocIn:
-		return e.Region
-	case *ast.VarRef:
-		for s := rs; s != nil; s = s.parent {
-			if s.tainted[e.Name] {
-				return s.name
-			}
-		}
-	case *ast.Begin:
-		if len(e.Body) > 0 {
-			return taintOf(e.Body[len(e.Body)-1], rs)
-		}
-	case *ast.Let:
-		if len(e.Body) > 0 {
-			return taintOf(e.Body[len(e.Body)-1], rs)
-		}
-	case *ast.If:
-		if t := taintOf(e.Then, rs); t != "" {
-			return t
-		}
-		if e.Else != nil {
-			return taintOf(e.Else, rs)
-		}
-	}
-	return ""
-}
-
-// inScope reports whether region name is still open in rs.
-func inScope(name string, rs *regionScope) bool {
-	for s := rs; s != nil; s = s.parent {
-		if s.name == name {
-			return true
-		}
-	}
-	return false
-}
-
-// heapType reports whether t is a reference-like type a region value could
-// hide inside.
-func heapType(t *types.Type) bool {
-	switch types.Prune(t).Kind {
-	case types.KStruct, types.KUnion, types.KVector, types.KString, types.KFn, types.KChan:
-		return true
-	}
-	return false
-}
-
-// expr walks e under the open-region scope rs.
-func (c *checker) expr(e ast.Expr, rs *regionScope) {
-	switch e := e.(type) {
-	case *ast.WithRegion:
-		inner := &regionScope{parent: rs, name: e.Name, tainted: map[string]bool{}}
-		for i, b := range e.Body {
-			c.expr(b, inner)
-			// The with-region form's own value escapes the region if it is
-			// the region-allocated value itself.
-			if i == len(e.Body)-1 {
-				if t := taintOf(b, inner); t != "" && !inScope(t, rs) && heapType(c.info.TypeOf(b)) {
-					c.escape(b.Span(), t, "returned as the with-region result")
-				}
-			}
-		}
-	case *ast.Let:
-		// Bindings whose initialiser is region-tainted taint the name in the
-		// innermost matching region scope.
-		for _, b := range e.Bindings {
-			c.expr(b.Init, rs)
-			if t := taintOf(b.Init, rs); t != "" {
-				for s := rs; s != nil; s = s.parent {
-					if s.name == t {
-						s.tainted[b.Name] = true
-						break
-					}
-				}
-			}
-		}
-		for _, b := range e.Body {
-			c.expr(b, rs)
-		}
-	case *ast.Set:
-		c.expr(e.Value, rs)
-		if t := taintOf(e.Value, rs); t != "" {
-			// Assignment can smuggle the value to an outer scope; flag when
-			// the variable is not itself tainted in the same region scope.
-			found := false
-			for s := rs; s != nil; s = s.parent {
-				if s.name == t && s.tainted[e.Name] {
-					found = true
-				}
-			}
-			if !found {
-				c.escape(e.Span(), t, fmt.Sprintf("assigned to %s which may outlive the region", e.Name))
-			}
-		}
-	case *ast.Call:
-		if v, ok := e.Fn.(*ast.VarRef); ok && v.Name == "send" && len(e.Args) == 2 {
-			if t := taintOf(e.Args[1], rs); t != "" {
-				c.escape(e.Span(), t, "sent on a channel")
-			}
-		}
-		for _, a := range e.Args {
-			c.expr(a, rs)
-			if t := taintOf(a, rs); t != "" {
-				if v, ok := e.Fn.(*ast.VarRef); ok && !isPureAccessor(v.Name) {
-					c.escape(a.Span(), t, fmt.Sprintf("passed to %s which may retain it", v.Name))
-				}
-			}
-		}
-	case *ast.FieldSet:
-		c.expr(e.Expr, rs)
-		c.expr(e.Value, rs)
-		if t := taintOf(e.Value, rs); t != "" && taintOf(e.Expr, rs) != t {
-			c.escape(e.Span(), t, "stored into an object outside the region")
-		}
-	case *ast.Spawn:
-		c.expr(e.Expr, rs)
-		ast.Walk(e.Expr, func(sub ast.Expr) bool {
-			if t := taintOf(sub, rs); t != "" {
-				c.escape(sub.Span(), t, "captured by a spawned thread")
-				return false
-			}
-			return true
-		})
-	default:
-		ast.Walk(e, func(sub ast.Expr) bool {
-			if sub == e {
-				return true
-			}
-			c.expr(sub, rs)
-			return false
-		})
-	}
-}
-
-// isPureAccessor lists builtins that read a value without retaining it.
-func isPureAccessor(name string) bool {
-	switch name {
-	case "field", "vector-ref", "vector-length", "print", "println",
-		"=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "mod",
-		"uniontag", "string-length":
-		return true
-	}
-	return false
 }
