@@ -12,6 +12,8 @@ import (
 	"bitc/internal/analysis"
 	"bitc/internal/bench"
 	"bitc/internal/core"
+	"bitc/internal/corpus"
+	"bitc/internal/factstore"
 	"bitc/internal/opt"
 	"bitc/internal/pointsto"
 	"bitc/internal/vm"
@@ -219,4 +221,63 @@ func BenchmarkAnalysisDriver(b *testing.B) {
 			b.ReportMetric(float64(findings), "findings/run")
 		})
 	}
+}
+
+// BenchmarkAnalysisIncremental measures the incremental driver on the
+// synthetic corpus (internal/corpus) at a moderate scale: a cold run that
+// populates the fact store, a warm no-op re-run (pure probe cost), and a
+// warm re-analysis after a one-function edit — the latency a `bitc analyze
+// -watch` daemon pays per keystroke. The full-scale (~100k functions, >=20x)
+// claim is enforced by TestIncrementalGate via scripts/check.sh.
+func BenchmarkAnalysisIncremental(b *testing.B) {
+	const nfuncs, cluster = 2000, 25
+	src := corpus.Text(nfuncs, cluster)
+	edited := corpus.EditOne(src, nfuncs/2)
+	load := func(text string) *core.Program {
+		p, err := core.LoadAnalysis("corpus.bitc", text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	prog, eprog := load(src), load(edited)
+	opts := analysis.Options{}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.AnalyzeWithStore(opts, factstore.New()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		store := factstore.New()
+		if _, err := prog.AnalyzeWithStore(opts, store); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.AnalyzeWithStore(opts, store); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-one-edit", func(b *testing.B) {
+		store := factstore.New()
+		if _, err := prog.AnalyzeWithStore(opts, store); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Alternate between the two texts so every iteration really
+			// re-keys one edited function instead of hitting everywhere.
+			p := eprog
+			if i%2 == 1 {
+				p = prog
+			}
+			if _, err := p.AnalyzeWithStore(opts, store); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

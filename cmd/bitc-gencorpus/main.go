@@ -1,0 +1,37 @@
+// Command bitc-gencorpus emits a deterministic synthetic bitc program for
+// benchmarking the incremental analysis driver at monorepo scale. It is a
+// thin wrapper over internal/corpus (see that package for the corpus
+// shape); `scripts/gen-corpus.sh` is the shell entry point.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"bitc/internal/corpus"
+)
+
+func main() {
+	funcs := flag.Int("funcs", 100000, "approximate number of functions to generate")
+	cluster := flag.Int("cluster", 25, "functions per cluster (call-chain depth)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bitc-gencorpus:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriterSize(f, 1<<20)
+	}
+	corpus.Generate(w, *funcs, *cluster)
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "bitc-gencorpus:", err)
+		os.Exit(1)
+	}
+}

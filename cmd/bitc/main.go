@@ -12,9 +12,15 @@
 //	                             run and print only the flat/cumulative
 //	                             profile report
 //	bitc verify <file>           generate + discharge verification conditions
-//	bitc analyze [-json] [-enable LIST] [-disable LIST] [-severity S] <file>
+//	bitc analyze [-json] [-enable LIST] [-disable LIST] [-severity S]
+//	             [-watch [-interval D] [-metrics out.json]]
+//	             [-verify-cache] [-warm] <file>
 //	                             run the unified static-analysis suite;
-//	                             exits 1 if any error-severity finding
+//	                             exits 1 if any error-severity finding.
+//	                             -watch re-analyzes on change over a shared
+//	                             incremental fact store and prints finding
+//	                             deltas; -verify-cache checks warm == cold;
+//	                             -warm renders a primed-cache re-analysis
 //	bitc analyzers [-codes]      list registered analyzers (with -codes, print
 //	                             just the BITC lint codes, one per line)
 //	bitc dump-ir <file>          print the optimised IR
@@ -39,6 +45,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"bitc/internal/analysis"
 	"bitc/internal/ast"
@@ -86,6 +93,11 @@ func run(args []string) error {
 	enable := fs.String("enable", "", "analyze: comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "analyze: comma-separated analyzers to skip")
 	minSev := fs.String("severity", "note", "analyze: minimum severity to report (note|warning|error)")
+	watch := fs.Bool("watch", false, "analyze: re-analyze on change (polling daemon over an incremental fact store)")
+	interval := fs.Duration("interval", 500*time.Millisecond, "analyze: -watch poll interval")
+	metricsOut := fs.String("metrics", "", "analyze: -watch maintains a bitc-metrics/v1 JSON file here (cold/warm analysisNs)")
+	verifyCacheFlag := fs.Bool("verify-cache", false, "analyze: check that a warm cached run renders byte-identically to a cold run, then exit")
+	warm := fs.Bool("warm", false, "analyze: render a warm re-analysis from a primed fact store (the daemon's code path)")
 	profile := fs.String("profile", "", "run/top: collect a profile along this dimension (cpu|alloc)")
 	tracePath := fs.String("trace", "", "run: write a Chrome trace_event JSON file (load in Perfetto or chrome://tracing)")
 	topN := fs.Int("top", 10, "run/top: number of functions shown in the profile report")
@@ -111,6 +123,46 @@ func run(args []string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+
+	// analyze never needs compiled code: it parses + type-checks only
+	// (core.LoadAnalysis) and dispatches to the one-shot, -warm,
+	// -verify-cache, or -watch driver in watch.go.
+	if cmd == "analyze" {
+		opts := analysis.Options{Strict: *strict}
+		if *enable != "" {
+			opts.Enable = strings.Split(*enable, ",")
+		}
+		if *disable != "" {
+			opts.Disable = strings.Split(*disable, ",")
+		}
+		switch *minSev {
+		case "note":
+			opts.MinSeverity = source.Note
+		case "warning":
+			opts.MinSeverity = source.Warning
+		case "error":
+			opts.MinSeverity = source.Error
+		default:
+			return fmt.Errorf("unknown -severity %q (want note, warning, or error)", *minSev)
+		}
+		outFormat := *format
+		if outFormat == "" {
+			if *jsonOut {
+				outFormat = "json"
+			} else {
+				outFormat = "pretty"
+			}
+		}
+		return runAnalyze(path, string(src), analyzeConfig{
+			opts:     opts,
+			format:   outFormat,
+			watch:    *watch,
+			interval: *interval,
+			metrics:  *metricsOut,
+			verify:   *verifyCacheFlag,
+			warm:     *warm,
+		})
 	}
 
 	cfg := core.Config{
@@ -182,55 +234,6 @@ func run(args []string) error {
 		fmt.Println(rep.Summary())
 		if rep.Failed > 0 {
 			return fmt.Errorf("%d verification conditions failed", rep.Failed)
-		}
-		return nil
-
-	case "analyze":
-		opts := analysis.Options{Strict: *strict}
-		if *enable != "" {
-			opts.Enable = strings.Split(*enable, ",")
-		}
-		if *disable != "" {
-			opts.Disable = strings.Split(*disable, ",")
-		}
-		switch *minSev {
-		case "note":
-			opts.MinSeverity = source.Note
-		case "warning":
-			opts.MinSeverity = source.Warning
-		case "error":
-			opts.MinSeverity = source.Error
-		default:
-			return fmt.Errorf("unknown -severity %q (want note, warning, or error)", *minSev)
-		}
-		outFormat := *format
-		if outFormat == "" {
-			if *jsonOut {
-				outFormat = "json"
-			} else {
-				outFormat = "pretty"
-			}
-		}
-		rep, err := prog.Analyze(opts)
-		if err != nil {
-			return err
-		}
-		switch outFormat {
-		case "json":
-			if err := rep.WriteJSON(os.Stdout); err != nil {
-				return err
-			}
-		case "sarif":
-			if err := rep.WriteSARIF(os.Stdout); err != nil {
-				return err
-			}
-		case "pretty":
-			rep.Render(os.Stdout)
-		default:
-			return fmt.Errorf("unknown -format %q (want pretty, json, or sarif)", outFormat)
-		}
-		if rep.HasErrors() {
-			return fmt.Errorf("analysis reported %d error-severity findings", rep.CountBySeverity(source.Error))
 		}
 		return nil
 

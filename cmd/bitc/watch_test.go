@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bitc/internal/analysis"
+	"bitc/internal/corpus"
+)
+
+// TestWatcherStep drives the -watch daemon's poll step directly: first run
+// is cold and prints findings, an unchanged file is a no-op, an edit
+// triggers a warm run that prints only the finding delta, and a broken
+// parse is reported once without killing the loop.
+func TestWatcherStep(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.bitc")
+	metrics := filepath.Join(dir, "watch-metrics.json")
+	base := corpus.Text(20, 5)
+	writeAt := func(src string, sec int) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Pin distinct mtimes explicitly: consecutive writes can land
+		// within the filesystem's timestamp granularity.
+		mt := time.Now().Add(time.Duration(sec) * time.Second)
+		if err := os.Chtimes(path, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeAt(base, 0)
+
+	var buf bytes.Buffer
+	w := newWatcher(path, analyzeConfig{opts: analysis.Options{}, metrics: metrics}, &buf)
+
+	ran, err := w.step(false)
+	if err != nil || !ran {
+		t.Fatalf("first step: ran=%v err=%v", ran, err)
+	}
+	if !strings.Contains(buf.String(), "run 1 (cold)") {
+		t.Fatalf("first run not reported cold:\n%s", buf.String())
+	}
+
+	ran, err = w.step(false)
+	if err != nil || ran {
+		t.Fatalf("unchanged file should not re-analyze: ran=%v err=%v", ran, err)
+	}
+
+	buf.Reset()
+	writeAt(base+"(define (wzz (x int64)) int64\n  (let ((u 1)) x))\n", 2)
+	ran, err = w.step(false)
+	if err != nil || !ran {
+		t.Fatalf("edited step: ran=%v err=%v", ran, err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "run 2 (warm)") {
+		t.Fatalf("second run not reported warm:\n%s", out)
+	}
+	if !strings.Contains(out, "+ ") || !strings.Contains(out, "BITC-DEAD002") {
+		t.Fatalf("finding delta not printed:\n%s", out)
+	}
+
+	// A broken parse is printed once; repeating the poll on the same bad
+	// file stays silent, and the daemon survives to analyze the next fix.
+	buf.Reset()
+	writeAt("(define (broken", 4)
+	if ran, err = w.step(false); err != nil || ran {
+		t.Fatalf("broken parse: ran=%v err=%v", ran, err)
+	}
+	if !strings.Contains(buf.String(), "[watch]") {
+		t.Fatalf("parse error not reported:\n%s", buf.String())
+	}
+	buf.Reset()
+	if ran, err = w.step(false); err != nil || ran || buf.Len() != 0 {
+		t.Fatalf("repeated bad poll should be silent: ran=%v err=%v out=%q", ran, err, buf.String())
+	}
+	writeAt(base, 6)
+	if ran, err = w.step(false); err != nil || !ran {
+		t.Fatalf("recovery step: ran=%v err=%v", ran, err)
+	}
+	if !strings.Contains(buf.String(), "- ") {
+		t.Fatalf("removed-finding delta not printed after revert:\n%s", buf.String())
+	}
+
+	mb, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics file not written: %v", err)
+	}
+	ms := string(mb)
+	for _, want := range []string{"bitc-metrics/v1", `"cold"`, `"warm"`, "analysisNs", "cacheHits"} {
+		if !strings.Contains(ms, want) {
+			t.Fatalf("metrics file missing %q:\n%s", want, ms)
+		}
+	}
+}
+
+// TestVerifyCacheMode exercises the -verify-cache gate end to end on a
+// program with findings.
+func TestVerifyCacheMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.bitc")
+	src := corpus.Text(40, 8) + "(define (wzz (x int64)) int64\n  (let ((u 1)) x))\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyCache(path, src, analyzeConfig{opts: analysis.Options{}}); err != nil {
+		t.Fatalf("verify-cache failed on a clean program: %v", err)
+	}
+}

@@ -13,9 +13,11 @@ import (
 // accesses reachable from entry points, with helper calls resolved through
 // bottom-up summaries instead of a depth-bounded inline walk. The escape
 // analyzer runs internal/pointsto's lifetime pass — a flow-sensitive check
-// over each function's CFG, alias-aware through the whole-program Andersen
-// points-to results. Both are whole-program: races need cross-function spawn
-// reachability and lifetimes need interprocedural points-to sets.
+// over each function's CFG, alias-aware through the Andersen points-to
+// results. Races are whole-program (they need cross-function spawn
+// reachability); lifetimes consume the shared points-to sets but check one
+// function body at a time, so the escape analyzer fans out per function and
+// the incremental driver can cache and invalidate its findings per function.
 
 // CodeRace is emitted for a lockset race between two shared accesses.
 const CodeRace = "BITC-RACE001"
@@ -63,10 +65,11 @@ var escapeAnalyzer = register(&Analyzer{
 	Doc:           "region lifetime analysis: values that may outlive their region (alias-aware), and uses after a region's extent definitely ended",
 	Code:          CodeEscape,
 	Codes:         []string{CodeEscape, CodeUseAfterExit},
+	PerFunction:   true,
 	NeedsCFG:      true,
 	NeedsPointsTo: true,
 	Run: func(p *Pass) {
-		lt := pointsto.CheckLifetimes(p.Prog, p.Info, p.PointsTo)
+		lt := pointsto.CheckFuncLifetimes(p.Info, p.PointsTo, p.Fn)
 		for _, e := range lt.Escapes {
 			f := Finding{
 				Code:     CodeEscape,

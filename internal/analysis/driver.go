@@ -153,7 +153,19 @@ func Run(prog *ast.Program, info *types.Info, opts Options) (*Report, error) {
 		}
 	}
 
-	workers := opts.Parallelism
+	results := make([][]Finding, len(tasks))
+	execTasks(prog, info, cfgs, pts, summaries, tasks, results, opts.Parallelism)
+	return assembleReport(prog, opts, selected, results), nil
+}
+
+// execTasks runs tasks on a bounded worker pool, writing each task's
+// findings into results[t.slot]. Slots not covered by a task are left
+// untouched, so the incremental driver can pre-fill them from the cache and
+// submit only the dirty remainder.
+func execTasks(prog *ast.Program, info *types.Info, cfgs map[*ast.DefineFunc]*cfg.Graph,
+	pts *pointsto.Result, summaries *Summaries, tasks []task, results [][]Finding, parallelism int) {
+
+	workers := parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -164,7 +176,6 @@ func Run(prog *ast.Program, info *types.Info, opts Options) (*Report, error) {
 		workers = 1
 	}
 
-	results := make([][]Finding, len(tasks))
 	runTask := func(t task) {
 		pass := &Pass{
 			Prog: prog, Info: info, Fn: t.fn,
@@ -179,25 +190,31 @@ func Run(prog *ast.Program, info *types.Info, opts Options) (*Report, error) {
 		for _, t := range tasks {
 			runTask(t)
 		}
-	} else {
-		ch := make(chan task)
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for i := 0; i < workers; i++ {
-			go func() {
-				defer wg.Done()
-				for t := range ch {
-					runTask(t)
-				}
-			}()
-		}
-		for _, t := range tasks {
-			ch <- t
-		}
-		close(ch)
-		wg.Wait()
+		return
 	}
+	ch := make(chan task)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				runTask(t)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+}
 
+// assembleReport merges per-slot findings into the final report: severity
+// filter, suppression split, deterministic sort. Both drivers funnel
+// through here, which is what makes a cached run byte-identical to a cold
+// one.
+func assembleReport(prog *ast.Program, opts Options, selected []*Analyzer, results [][]Finding) *Report {
 	rep := &Report{File: prog.File, Strict: opts.Strict}
 	for _, a := range selected {
 		rep.Analyzers = append(rep.Analyzers, a.Name)
@@ -216,7 +233,7 @@ func Run(prog *ast.Program, info *types.Info, opts Options) (*Report, error) {
 	}
 	SortFindings(rep.Findings)
 	SortFindings(rep.Suppressed)
-	return rep, nil
+	return rep
 }
 
 // suppressed reports whether a directive in the program mutes this finding:

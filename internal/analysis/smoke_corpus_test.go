@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"bitc/internal/analysis"
+	"bitc/internal/corpus"
+	"bitc/internal/factstore"
+)
+
+func TestCorpusColdWarmSmoke(t *testing.T) {
+	src := corpus.Text(500, 25)
+	opts := analysis.Options{}
+	prog, info := check(t, src)
+	plain, err := analysis.Run(prog, info, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, plain)
+	store := factstore.New()
+	_, cold := runStore(t, src, opts, store)
+	if cold != want {
+		t.Error("cold differs")
+	}
+	edited := corpus.EditOne(src, 137)
+	_, warm := runStore(t, edited, opts, store)
+	eprog, einfo := check(t, edited)
+	fresh, err := analysis.Run(eprog, einfo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != renderAll(t, fresh) {
+		t.Error("warm after corpus edit differs from fresh cold")
+	}
+	st := store.Stats()
+	t.Logf("stats: %+v", st)
+}

@@ -1,8 +1,8 @@
 package analysis
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"bitc/internal/ast"
@@ -75,43 +75,46 @@ type Summaries struct {
 // back to recognising only direct global references.
 func ComputeSummaries(prog *ast.Program, info *types.Info, pts *pointsto.Result) *Summaries {
 	cg := BuildCallGraph(prog)
-	sb := &summaryBuilder{
-		info:    info,
-		cg:      cg,
-		pts:     pts,
-		effects: map[string]*FuncEffects{},
-		shared:  map[string]bool{},
-	}
-	for name, t := range info.Globals {
-		if types.Prune(t).Kind == types.KStruct {
-			sb.shared[name] = true
-		}
-	}
-
+	sb := newSummaryBuilder(info, cg, pts)
 	order := cg.SCCs()
 	for _, scc := range order {
+		sb.computeSCC(scc)
+	}
+	s := aggregate(prog, cg, sb.effects)
+	s.SCCOrder = order
+	return s
+}
+
+// computeSCC (re)computes the effects of one strongly connected component,
+// iterating its members to a fixpoint. Callee SCCs must already be present
+// in sb.effects — either computed earlier in bottom-up order or preloaded
+// from a cache by the incremental driver.
+func (sb *summaryBuilder) computeSCC(scc []string) {
+	for _, name := range scc {
+		sb.effects[name] = newEffects(name)
+	}
+	for {
+		changed := false
 		for _, name := range scc {
-			sb.effects[name] = newEffects(name)
+			eff := sb.computeOne(sb.cg.Funcs[name])
+			if !equalEffects(sb.effects[name], eff) {
+				changed = true
+			}
+			sb.effects[name] = eff
 		}
-		for {
-			changed := false
-			for _, name := range scc {
-				eff := sb.computeOne(cg.Funcs[name])
-				if !equalEffects(sb.effects[name], eff) {
-					changed = true
-				}
-				sb.effects[name] = eff
-			}
-			if !changed {
-				break
-			}
+		if !changed {
+			break
 		}
 	}
+}
 
+// aggregate derives the whole-program facts from a complete effects set.
+// It is a pure, deterministic fold: the incremental driver re-runs it every
+// analysis over a mix of cached and freshly computed effects.
+func aggregate(prog *ast.Program, cg *CallGraph, effects map[string]*FuncEffects) *Summaries {
 	s := &Summaries{
 		Graph:     cg,
-		Effects:   sb.effects,
-		SCCOrder:  order,
+		Effects:   effects,
 		LockEdges: map[string]map[string]LockSite{},
 		LockSelf:  map[string]LockSite{},
 	}
@@ -119,15 +122,16 @@ func ComputeSummaries(prog *ast.Program, info *types.Info, pts *pointsto.Result)
 	// Ordering facts: union over all functions, first site wins, functions
 	// visited in sorted name order for determinism.
 	for _, name := range cg.Names {
-		eff := sb.effects[name]
-		for a, outs := range eff.Edges {
-			for b, site := range outs {
-				addEdgeSite(s.LockEdges, a, b, site)
+		eff := effects[name]
+		for _, a := range sortedEdgeKeys(eff.Edges) {
+			outs := eff.Edges[a]
+			for _, b := range sortedKeys(outs) {
+				addEdgeSite(s.LockEdges, a, b, outs[b])
 			}
 		}
-		for a, site := range eff.Self {
+		for _, a := range sortedKeys(eff.Self) {
 			if _, ok := s.LockSelf[a]; !ok {
-				s.LockSelf[a] = site
+				s.LockSelf[a] = eff.Self[a]
 			}
 		}
 	}
@@ -144,7 +148,7 @@ func ComputeSummaries(prog *ast.Program, info *types.Info, pts *pointsto.Result)
 		if cg.CalledByOther[fn.Name] && fn.Name != "main" {
 			continue
 		}
-		for _, ac := range sb.effects[fn.Name].Accesses {
+		for _, ac := range effects[fn.Name].Accesses {
 			k := accessKey(ac)
 			if !seen[k] {
 				seen[k] = true
@@ -156,12 +160,40 @@ func ComputeSummaries(prog *ast.Program, info *types.Info, pts *pointsto.Result)
 	return s
 }
 
+func sortedEdgeKeys(m map[string]map[string]LockSite) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 type summaryBuilder struct {
 	info    *types.Info
 	cg      *CallGraph
 	pts     *pointsto.Result
 	effects map[string]*FuncEffects
 	shared  map[string]bool
+}
+
+// newSummaryBuilder prepares a builder over an empty effects set. pts may be
+// a whole-program result or a demand slice covering (at least) the functions
+// whose SCCs will be recomputed.
+func newSummaryBuilder(info *types.Info, cg *CallGraph, pts *pointsto.Result) *summaryBuilder {
+	sb := &summaryBuilder{
+		info:    info,
+		cg:      cg,
+		pts:     pts,
+		effects: map[string]*FuncEffects{},
+		shared:  map[string]bool{},
+	}
+	for name, t := range info.Globals {
+		if types.Prune(t).Kind == types.KStruct {
+			sb.shared[name] = true
+		}
+	}
+	return sb
 }
 
 func newEffects(name string) *FuncEffects {
@@ -363,14 +395,29 @@ func (sb *summaryBuilder) sharedTargets(e ast.Expr) []string {
 }
 
 func accessKey(ac concurrent.Access) string {
-	k := ac.Global + "." + ac.Field + "|" + ac.Func + "|" + strings.Join(ac.Lockset, ",")
+	var b strings.Builder
+	b.Grow(len(ac.Global) + len(ac.Field) + len(ac.Func) + 24)
+	b.WriteString(ac.Global)
+	b.WriteByte('.')
+	b.WriteString(ac.Field)
+	b.WriteByte('|')
+	b.WriteString(ac.Func)
+	b.WriteByte('|')
+	for i, l := range ac.Lockset {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+	}
 	if ac.Write {
-		k += "|w"
+		b.WriteString("|w")
 	}
 	if ac.Spawned {
-		k += "|s"
+		b.WriteString("|s")
 	}
-	return fmt.Sprintf("%s|%d", k, ac.Span.Start)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(ac.Span.Start)))
+	return b.String()
 }
 
 func mergeLocksets(a, b []string) []string {

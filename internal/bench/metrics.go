@@ -11,13 +11,15 @@ import (
 
 	"bitc/internal/analysis"
 	"bitc/internal/core"
+	"bitc/internal/corpus"
+	"bitc/internal/factstore"
 	"bitc/internal/obs"
 	"bitc/internal/opt"
 	"bitc/internal/vm"
 )
 
 // MetricsExperiments lists the experiments with a metrics exporter.
-func MetricsExperiments() []string { return []string{"E1", "E8", "EA"} }
+func MetricsExperiments() []string { return []string{"E1", "E8", "EA", "ANALYZE"} }
 
 // CollectMetrics runs the named experiment's workloads and returns the
 // metrics document. With deterministic set, wall-clock fields are zeroed so
@@ -30,6 +32,8 @@ func CollectMetrics(id string, p Params, deterministic bool) (*obs.MetricsDoc, e
 		return metricsE8(p, deterministic)
 	case "EA":
 		return metricsEA(p, deterministic)
+	case "ANALYZE":
+		return metricsAnalyze(p, deterministic)
 	default:
 		return nil, fmt.Errorf("no metrics exporter for experiment %q (have %v)", id, MetricsExperiments())
 	}
@@ -152,6 +156,67 @@ func metricsEA(p Params, deterministic bool) (*obs.MetricsDoc, error) {
 				},
 			})
 		}
+	}
+	return doc, nil
+}
+
+// metricsAnalyze exports the incremental-analysis trajectory: the synthetic
+// corpus (internal/corpus) analyzed cold, then warm with no edit (pure probe
+// cost), then warm after a one-function edit — the re-analysis latency a
+// `bitc analyze -watch` daemon pays. AnalysisNS carries the wall time;
+// findings and the per-run cache hit/miss traffic land in Derived, so a
+// key-scheme regression that silently widens invalidation shows up as a
+// miss-count jump in trajectory diffs even when the timings are noisy.
+func metricsAnalyze(p Params, deterministic bool) (*obs.MetricsDoc, error) {
+	doc := obs.NewMetricsDoc("ANALYZE", deterministic)
+	nfuncs := 200 * p.Scale
+	if nfuncs < 400 {
+		nfuncs = 400
+	}
+	src := corpus.Text(nfuncs, 25)
+	prog, err := core.LoadAnalysis("corpus.bitc", src)
+	if err != nil {
+		return nil, fmt.Errorf("ANALYZE corpus: %w", err)
+	}
+	eprog, err := core.LoadAnalysis("corpus.bitc", corpus.EditOne(src, nfuncs/2))
+	if err != nil {
+		return nil, fmt.Errorf("ANALYZE edited corpus: %w", err)
+	}
+	store := factstore.New()
+	run := func(mode string, pr *core.Program) error {
+		before := store.Stats()
+		start := time.Now()
+		rep, aerr := pr.AnalyzeWithStore(analysis.Options{}, store)
+		if aerr != nil {
+			return fmt.Errorf("ANALYZE/%s: %w", mode, aerr)
+		}
+		wall := time.Since(start).Nanoseconds()
+		if deterministic {
+			wall = 0
+		}
+		after := store.Stats()
+		doc.Rows = append(doc.Rows, obs.Metrics{
+			Workload:   "incr-corpus",
+			Mode:       mode,
+			N:          int64(nfuncs),
+			AnalysisNS: wall,
+			Derived: map[string]float64{
+				"findings":    float64(len(rep.Findings)),
+				"funcs":       float64(nfuncs),
+				"cacheHits":   float64(after.Hits - before.Hits),
+				"cacheMisses": float64(after.Misses - before.Misses),
+			},
+		})
+		return nil
+	}
+	if err := run("cold", prog); err != nil {
+		return nil, err
+	}
+	if err := run("warm", prog); err != nil {
+		return nil, err
+	}
+	if err := run("warm-one-edit", eprog); err != nil {
+		return nil, err
 	}
 	return doc, nil
 }

@@ -15,6 +15,7 @@ import (
 	"bitc/internal/ast"
 	"bitc/internal/compiler"
 	"bitc/internal/concurrent"
+	"bitc/internal/factstore"
 	"bitc/internal/ir"
 	"bitc/internal/layout"
 	"bitc/internal/obs"
@@ -83,6 +84,23 @@ func Load(name, src string, cfg Config) (*Program, error) {
 	return &Program{Name: name, AST: prog, Info: info, Module: mod, Opt: res, cfg: cfg}, nil
 }
 
+// LoadAnalysis parses and type-checks source text without compiling it —
+// the front half of Load, for tools that only run the static analyzers
+// (bitc analyze, the watch daemon). Module and Opt are nil on the result;
+// only Analyze/AnalyzeWithStore, Verify, CheckRegions, Races, and LayoutOf
+// are usable.
+func LoadAnalysis(name, src string) (*Program, error) {
+	prog, diags := parser.Parse(name, src)
+	if err := diags.ErrOrNil(); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, cdiags := types.Check(prog)
+	if err := cdiags.ErrOrNil(); err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	return &Program{Name: name, AST: prog, Info: info, cfg: DefaultConfig}, nil
+}
+
 // MustLoad is Load, panicking on error (for examples and tests).
 func MustLoad(name, src string, cfg Config) *Program {
 	p, err := Load(name, src, cfg)
@@ -130,6 +148,15 @@ func (p *Program) Verify(opts verify.Options) *verify.Report {
 // dead stores, FFI boundary) and returns the combined findings.
 func (p *Program) Analyze(opts analysis.Options) (*analysis.Report, error) {
 	return analysis.Run(p.AST, p.Info, opts)
+}
+
+// AnalyzeWithStore runs the incremental analysis driver against a fact
+// store shared across calls: facts whose content keys still match are
+// served from cache, everything an edit invalidated is recomputed. The
+// report is byte-identical to Analyze's. A nil store degenerates to
+// Analyze.
+func (p *Program) AnalyzeWithStore(opts analysis.Options, store *factstore.Store) (*analysis.Report, error) {
+	return analysis.RunWithStore(p.AST, p.Info, opts, store)
 }
 
 // CheckRegions runs the static region-escape analysis.

@@ -1,0 +1,54 @@
+package corpus_test
+
+import (
+	"strings"
+	"testing"
+
+	"bitc/internal/corpus"
+	"bitc/internal/parser"
+	"bitc/internal/types"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := corpus.Text(500, 25)
+	b := corpus.Text(500, 25)
+	if a != b {
+		t.Fatal("two generations with the same parameters differ")
+	}
+}
+
+func TestGenerateChecksClean(t *testing.T) {
+	src := corpus.Text(200, 10)
+	prog, diags := parser.Parse("corpus.bitc", src)
+	if diags.HasErrors() {
+		t.Fatalf("corpus does not parse: %v", diags)
+	}
+	if _, cdiags := types.Check(prog); cdiags.HasErrors() {
+		t.Fatalf("corpus does not type-check: %v", cdiags)
+	}
+	nfuncs := strings.Count(src, "(define (")
+	if nfuncs != 200 {
+		t.Fatalf("generated %d functions, want 200", nfuncs)
+	}
+}
+
+func TestEditOne(t *testing.T) {
+	src := corpus.Text(100, 10)
+	edited := corpus.EditOne(src, 42)
+	if len(edited) != len(src) {
+		t.Fatalf("edit changed the file length: %d -> %d", len(src), len(edited))
+	}
+	if edited == src {
+		t.Fatal("edit changed nothing")
+	}
+	// Exactly one byte run differs: the replaced constant.
+	diff := 0
+	for i := range src {
+		if src[i] != edited[i] {
+			diff++
+		}
+	}
+	if diff == 0 || diff > 7 {
+		t.Fatalf("edit touched %d bytes, want 1..7", diff)
+	}
+}

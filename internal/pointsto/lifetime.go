@@ -67,22 +67,42 @@ func CheckLifetimes(prog *ast.Program, info *types.Info, r *Result) *Lifetime {
 		if !ok {
 			continue
 		}
-		g := r.graphs[fn.Name]
-		if g == nil {
-			continue
-		}
-		w := &escWalker{
-			r: r, info: info, fn: fn.Name, g: g, rn: NewRenames(g),
-			declOpen: map[string]map[string]bool{},
-			seen:     map[string]bool{},
-			out:      lt,
-		}
-		for _, e := range fn.Body {
-			w.walk(e)
-		}
-		w.checkReturn(fn)
-		checkUses(r, fn, g, lt)
+		checkFuncLifetimes(info, r, fn, lt)
 	}
+	lt.sort()
+	return lt
+}
+
+// CheckFuncLifetimes runs both region-lifetime passes over a single
+// function, for per-function (incremental) drivers. The escapes and uses
+// it reports are exactly the subset of CheckLifetimes attributed to fn;
+// r must cover fn's points-to flow component.
+func CheckFuncLifetimes(info *types.Info, r *Result, fn *ast.DefineFunc) *Lifetime {
+	lt := &Lifetime{}
+	checkFuncLifetimes(info, r, fn, lt)
+	lt.sort()
+	return lt
+}
+
+func checkFuncLifetimes(info *types.Info, r *Result, fn *ast.DefineFunc, lt *Lifetime) {
+	g := r.graphs[fn.Name]
+	if g == nil {
+		return
+	}
+	w := &escWalker{
+		r: r, info: info, fn: fn.Name, g: g, rn: NewRenames(g),
+		declOpen: map[string]map[string]bool{},
+		seen:     map[string]bool{},
+		out:      lt,
+	}
+	for _, e := range fn.Body {
+		w.walk(e)
+	}
+	w.checkReturn(fn)
+	checkUses(r, fn, g, lt)
+}
+
+func (lt *Lifetime) sort() {
 	sort.SliceStable(lt.Escapes, func(i, j int) bool {
 		a, b := lt.Escapes[i], lt.Escapes[j]
 		if a.Span.Start != b.Span.Start {
@@ -93,7 +113,6 @@ func CheckLifetimes(prog *ast.Program, info *types.Info, r *Result) *Lifetime {
 	sort.SliceStable(lt.Uses, func(i, j int) bool {
 		return lt.Uses[i].Span.Start < lt.Uses[j].Span.Start
 	})
-	return lt
 }
 
 // ---------------------------------------------------------------------------

@@ -429,6 +429,12 @@ var scalarBuiltin = map[string]bool{
 // cfgs may share prebuilt graphs (keyed by function); missing graphs are
 // built on demand.
 func Analyze(prog *ast.Program, info *types.Info, cfgs map[*ast.DefineFunc]*cfg.Graph) *Result {
+	return analyze(prog, info, cfgs, nil)
+}
+
+// analyze is the shared engine behind Analyze (sel == nil: whole program)
+// and AnalyzeDemand (sel restricts generation to included definitions).
+func analyze(prog *ast.Program, info *types.Info, cfgs map[*ast.DefineFunc]*cfg.Graph, sel *selection) *Result {
 	r := &Result{
 		exprNode:    map[ast.Expr]int{},
 		varNode:     map[string]int{},
@@ -454,7 +460,7 @@ func Analyze(prog *ast.Program, info *types.Info, cfgs map[*ast.DefineFunc]*cfg.
 
 	for _, d := range prog.Defs {
 		fn, ok := d.(*ast.DefineFunc)
-		if !ok {
+		if !ok || (sel != nil && !sel.fns[fn.Name]) {
 			continue
 		}
 		g := cfgs[fn]
@@ -466,13 +472,20 @@ func Analyze(prog *ast.Program, info *types.Info, cfgs map[*ast.DefineFunc]*cfg.
 	}
 
 	// Generate constraints in definition order: object IDs and node IDs
-	// depend only on the AST.
+	// depend only on the AST. A selection skips excluded definitions
+	// wholesale, so IDs of included objects keep their relative AST order.
 	for _, d := range prog.Defs {
 		switch d := d.(type) {
 		case *ast.DefineVar:
+			if sel != nil && !sel.globals[d.Name] {
+				continue
+			}
 			c := &genCtx{fn: ""}
 			b.edge(b.eval(c, d.Init), b.gvar(d.Name))
 		case *ast.DefineFunc:
+			if sel != nil && !sel.fns[d.Name] {
+				continue
+			}
 			g := r.graphs[d.Name]
 			c := &genCtx{fn: d.Name, g: g, rn: NewRenames(g)}
 			last := -1
@@ -486,18 +499,31 @@ func Analyze(prog *ast.Program, info *types.Info, cfgs map[*ast.DefineFunc]*cfg.
 	}
 
 	b.solve()
-	b.finish(prog, info)
+	b.finish(info, sel)
 	return r
 }
 
 // finish derives the post-solve facts: which globals name which objects,
-// what unknown code can reach, and what is reachable from globals.
-func (b *builder) finish(prog *ast.Program, info *types.Info) {
+// what unknown code can reach, and what is reachable from globals. Under a
+// selection only included globals are inspected; an excluded global's set
+// cannot contain an included object (that flow would have merged their
+// components), so the restriction loses nothing for in-slice queries.
+func (b *builder) finish(info *types.Info, sel *selection) {
 	var globals []string
 	for name := range info.Globals {
+		if sel != nil && !sel.globals[name] {
+			continue
+		}
 		globals = append(globals, name)
 	}
 	sort.Strings(globals)
+	// Index field nodes by owning object once: reachability marking pops
+	// each object at most twice (global + leak sweeps), and a linear scan
+	// of every field node per pop is quadratic on field-heavy programs.
+	fieldsByObj := map[int][]int{}
+	for k, n := range b.fieldNode {
+		fieldsByObj[k.obj] = append(fieldsByObj[k.obj], n)
+	}
 	for _, name := range globals {
 		n, ok := b.varNode["\x00g\x00"+name]
 		if !ok {
@@ -506,7 +532,7 @@ func (b *builder) finish(prog *ast.Program, info *types.Info) {
 		for id := range b.pts[n] {
 			b.globalsOf[id] = append(b.globalsOf[id], name)
 		}
-		b.markReach(b.pts[n], b.globalReach)
+		b.markReach(b.pts[n], b.globalReach, fieldsByObj)
 	}
 	for id := range b.globalsOf {
 		sort.Strings(b.globalsOf[id])
@@ -519,12 +545,12 @@ func (b *builder) finish(prog *ast.Program, info *types.Info) {
 	for id := range b.pts[b.observed] {
 		seeds[id] = true
 	}
-	b.markReach(seeds, b.leaked)
+	b.markReach(seeds, b.leaked, fieldsByObj)
 }
 
 // markReach adds every object in seeds, plus everything reachable through
 // their fields, to out.
-func (b *builder) markReach(seeds map[int]bool, out map[int]bool) {
+func (b *builder) markReach(seeds map[int]bool, out map[int]bool, fieldsByObj map[int][]int) {
 	var stack []int
 	for id := range seeds {
 		if !out[id] {
@@ -535,10 +561,7 @@ func (b *builder) markReach(seeds map[int]bool, out map[int]bool) {
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for k, n := range b.fieldNode {
-			if k.obj != id {
-				continue
-			}
+		for _, n := range fieldsByObj[id] {
 			for m := range b.pts[n] {
 				if !out[m] {
 					out[m] = true

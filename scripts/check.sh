@@ -31,14 +31,25 @@ for f in examples/progs/*.bitc; do
     echo "analyze $f: 0 errors"
 done
 
+# Cache correctness: for every shipped example, a warm run out of a primed
+# fact store must render byte-identically (pretty and JSON) to a cold run.
+# -strict is on so directive-suppression accounting is held to the same
+# standard as the findings themselves.
+for f in examples/progs/*.bitc internal/core/testdata/analyze/*.bitc; do
+    /tmp/bitc-check analyze -strict -verify-cache "$f" || {
+        echo "$f: incremental cache is not transparent"; exit 1; }
+done
+
 # Lint baseline: every unsuppressed warning/note across the example corpus
 # must already be listed in scripts/lint-baseline.txt. New findings fail the
 # gate (fix the code, suppress with a directive, or deliberately re-baseline
-# with `make lint-baseline`); stale baseline entries only warn.
+# with `make lint-baseline`); stale baseline entries only warn. The sweep
+# runs warm (-warm: re-analysis from a primed store, the daemon's code
+# path), which the verify-cache sweep above proves equal to cold.
 baseline=scripts/lint-baseline.txt
 current=$(mktemp)
 for f in examples/progs/*.bitc internal/core/testdata/analyze/*.bitc; do
-    /tmp/bitc-check analyze "$f" | grep '\[BITC-' | grep -v '^    ' || true
+    /tmp/bitc-check analyze -warm "$f" | grep '\[BITC-' | grep -v '^    ' || true
 done | sort > "$current"
 if [ ! -f "$baseline" ]; then
     echo "missing $baseline (run 'make lint-baseline' to create it)"
@@ -62,5 +73,15 @@ fi
 BITC_BIN=/tmp/bitc-check sh scripts/docs-check.sh
 
 rm -f "$current" /tmp/bitc-check
+
+# Incremental scale gate: on the synthetic ~100k-function corpus, (1) a warm
+# run after a one-function edit renders byte-identically to a fresh cold run,
+# and (2) warm re-analysis is >= 20x faster than cold (see
+# incremental_gate_test.go and docs/incremental.md). The full corpus takes a
+# few minutes; set BITC_INCR_GATE_FUNCS to shrink it locally — note the 20x
+# bar assumes near-full scale (fixed warm overheads dominate tiny corpora).
+gate=$(BITC_INCR_GATE=1 go test -run TestIncrementalGate -count=1 -v -timeout 1800s .) || {
+    printf '%s\n' "$gate"; exit 1; }
+printf '%s\n' "$gate" | grep 'corpus:' || true
 
 echo "check: all green"

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Generates the synthetic incremental-analysis corpus: a monorepo-scale bitc
+# file of flow-disjoint function clusters (see internal/corpus). This is the
+# workload behind the incremental gate in scripts/check.sh and the
+# BenchmarkAnalysisIncremental numbers; regenerate it to experiment with
+# `bitc analyze -watch` at scale:
+#
+#   scripts/gen-corpus.sh 100000 /tmp/corpus.bitc
+#   bitc analyze -watch /tmp/corpus.bitc
+set -e
+cd "$(dirname "$0")/.."
+
+funcs=${1:-100000}
+out=${2:-/tmp/bitc-corpus.bitc}
+go run ./cmd/bitc-gencorpus -funcs "$funcs" -cluster 25 -o "$out"
+echo "wrote $out ($funcs functions)"
