@@ -1,4 +1,4 @@
-// Command bitc-bench regenerates the experiment tables E1–E8 that reproduce
+// Command bitc-bench regenerates the experiment tables E1–E9 that reproduce
 // the quantitative claims of Shapiro's PLOS 2006 paper (see DESIGN.md for the
 // claim↔experiment mapping and EXPERIMENTS.md for recorded results).
 //
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "", "run a single experiment (E1..E8, A1..A4)")
+	exp := flag.String("e", "", "run a single experiment (E1..E9, A1..A4)")
 	quick := flag.Bool("quick", false, "small workloads (what the test suite runs)")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations A1..A4")
 	metricsDir := flag.String("metrics", "", "write BENCH_<id>.json metrics files into this directory")
@@ -65,7 +65,7 @@ func main() {
 	if *exp != "" {
 		e := bench.ByID(*exp)
 		if e == nil {
-			fmt.Fprintf(os.Stderr, "bitc-bench: no experiment %q (have E1..E8)\n", *exp)
+			fmt.Fprintf(os.Stderr, "bitc-bench: no experiment %q (have E1..E9)\n", *exp)
 			os.Exit(1)
 		}
 		run(*e)

@@ -13,7 +13,7 @@
 //	                             profile report
 //	bitc verify <file>           generate + discharge verification conditions
 //	bitc analyze [-json] [-enable LIST] [-disable LIST] [-severity S]
-//	             [-watch [-interval D] [-metrics out.json]]
+//	             [-watch [-interval D] [-metrics out.json] [-keep-runs N]]
 //	             [-verify-cache] [-warm] <file>
 //	                             run the unified static-analysis suite;
 //	                             exits 1 if any error-severity finding.
@@ -23,6 +23,14 @@
 //	                             -warm renders a primed-cache re-analysis
 //	bitc analyzers [-codes]      list registered analyzers (with -codes, print
 //	                             just the BITC lint codes, one per line)
+//	bitc serve [-shards N] [-users N] [-rate N] [-duration N] [-skew F]
+//	           [-cross F] [-seed N] [-deterministic] [-metrics out.json]
+//	           [-smoke]
+//	                             run the sharded STM transaction service
+//	                             (internal/serve) under open-loop load and
+//	                             report throughput, abort rate, and latency;
+//	                             SIGINT/SIGTERM drains in-flight work before
+//	                             exiting. -smoke is the fixed CI preset.
 //	bitc dump-ir <file>          print the optimised IR
 //	bitc dump-layout <file>      print struct layouts (packed/natural/boxed)
 //	bitc fmt <file>              print the normalised program
@@ -67,7 +75,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: bitc <check|run|top|verify|analyze|analyzers|dump-ir|dump-layout|fmt|repl> [flags] <file>\n(try `bitc analyze -h` for the static-analysis suite and its lint codes)")
+		return fmt.Errorf("usage: bitc <check|run|top|verify|analyze|analyzers|serve|dump-ir|dump-layout|fmt|repl> [flags] <file>\n(try `bitc analyze -h` for the static-analysis suite and its lint codes)")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -76,6 +84,11 @@ func run(args []string) error {
 	}
 	if cmd == "analyzers" {
 		return listAnalyzers(rest)
+	}
+	if cmd == "serve" {
+		// serve takes no source file: the shard program is generated
+		// internally (see internal/serve).
+		return runServe(rest, os.Stdout)
 	}
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -96,6 +109,7 @@ func run(args []string) error {
 	watch := fs.Bool("watch", false, "analyze: re-analyze on change (polling daemon over an incremental fact store)")
 	interval := fs.Duration("interval", 500*time.Millisecond, "analyze: -watch poll interval")
 	metricsOut := fs.String("metrics", "", "analyze: -watch maintains a bitc-metrics/v1 JSON file here (cold/warm analysisNs)")
+	keepRuns := fs.Uint64("keep-runs", 8, "analyze: -watch evicts cached facts untouched for this many runs")
 	verifyCacheFlag := fs.Bool("verify-cache", false, "analyze: check that a warm cached run renders byte-identically to a cold run, then exit")
 	warm := fs.Bool("warm", false, "analyze: render a warm re-analysis from a primed fact store (the daemon's code path)")
 	profile := fs.String("profile", "", "run/top: collect a profile along this dimension (cpu|alloc)")
@@ -162,6 +176,7 @@ func run(args []string) error {
 			metrics:  *metricsOut,
 			verify:   *verifyCacheFlag,
 			warm:     *warm,
+			keepRuns: *keepRuns,
 		})
 	}
 

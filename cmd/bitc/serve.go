@@ -1,0 +1,110 @@
+// bitc serve: the CLI front end of internal/serve — flag parsing, signal
+// handling (SIGINT/SIGTERM trigger a graceful drain), the human-readable
+// run report, and optional bitc-metrics/v1 export.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"bitc/internal/serve"
+)
+
+// runServe implements `bitc serve`. Output goes to out so tests can capture
+// the report; the metrics file (when requested) is flushed even when the run
+// is interrupted — that is part of the graceful-shutdown contract.
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	shards := fs.Int("shards", 4, "number of account shards (one VM each)")
+	users := fs.Int64("users", 10000, "simulated-user population (one account each)")
+	rate := fs.Int("rate", 1000, "open-loop arrival rate (transactions per round)")
+	duration := fs.Int("duration", 10, "rounds of traffic to generate before draining")
+	batch := fs.Int("batch", 256, "transactions per shard batch")
+	workers := fs.Int("workers", 8, "green threads per shard batch")
+	queueCap := fs.Int("queue-cap", 0, "per-shard mailbox bound (0 = 4×batch)")
+	coordinators := fs.Int("coordinators", 4, "parallel cross-shard 2PC coordinators")
+	maxRetries := fs.Int("max-retries", 8, "2PC attempts before a cross-shard transfer is rejected")
+	skew := fs.Float64("skew", 0, "hot-key probability in [0,1)")
+	cross := fs.Float64("cross", 0, "cross-shard transfer fraction in [0,1]")
+	seed := fs.Uint64("seed", 1, "deterministic seed for the generator and every shard scheduler")
+	quantum := fs.Int("quantum", 64, "shard scheduler preemption interval")
+	balance := fs.Int64("balance", 100, "initial balance per account")
+	deterministic := fs.Bool("deterministic", false, "single-coordinator 2PC and no wall-clock fields (byte-reproducible output)")
+	metricsOut := fs.String("metrics", "", "write a bitc-metrics/v1 JSON document here")
+	smoke := fs.Bool("smoke", false, "CI preset: 4 shards, 10k transactions with cross-shard transfers, deterministic")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes no source file (the shard program is built in)")
+	}
+	opts := serve.Options{
+		Shards: *shards, Users: *users, Rate: *rate, Duration: *duration,
+		Batch: *batch, Workers: *workers, QueueCap: *queueCap,
+		Coordinators: *coordinators, MaxRetries: *maxRetries,
+		Skew: *skew, Cross: *cross, Seed: *seed, Quantum: *quantum,
+		InitialBalance: *balance, Deterministic: *deterministic,
+	}
+	if *smoke {
+		// 5 rounds × 2000 tps = 10k transactions, 20% of them cross-shard.
+		opts = serve.Options{
+			Shards: 4, Users: 10000, Rate: 2000, Duration: 5,
+			Skew: 0.2, Cross: 0.2, Seed: 1, Deterministic: true,
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveWith(ctx, opts, *metricsOut, out)
+}
+
+// serveWith builds and runs the service, prints the report, writes metrics,
+// and enforces the conservation invariant via the exit status.
+func serveWith(ctx context.Context, opts serve.Options, metricsPath string, out io.Writer) error {
+	sv, err := serve.New(opts)
+	if err != nil {
+		return err
+	}
+	eff := sv.Options()
+	fmt.Fprintf(out, "[serve] %d shards × %d users, rate %d/round for %d rounds (cross %.2f, skew %.2f, seed %d)\n",
+		eff.Shards, eff.Users, eff.Rate, eff.Duration, eff.Cross, eff.Skew, eff.Seed)
+	res, err := sv.Run(ctx)
+	if err != nil {
+		return err
+	}
+	if res.Interrupted {
+		fmt.Fprintf(out, "[serve] interrupted — drained in-flight transactions before exit\n")
+	}
+	fmt.Fprintf(out, "[serve] %d rounds: committed %d (+%d cross), rejected %d (+%d cross), 2PC conflicts %d\n",
+		res.Rounds, res.Committed, res.CrossCommitted, res.Rejected, res.CrossRejected, res.Conflicts)
+	fmt.Fprintf(out, "[serve] stm commits %d, aborts %d (%.4f abort rate); latency p50 %d p99 %d ticks\n",
+		res.TxCommits, res.TxAborts, abortRate(res), res.P50Ticks, res.P99Ticks)
+	if res.WallNS > 0 {
+		fmt.Fprintf(out, "[serve] wall %.3fs, %.0f committed tx/s\n",
+			float64(res.WallNS)/1e9, float64(res.Committed+res.CrossCommitted)/(float64(res.WallNS)/1e9))
+	}
+	if metricsPath != "" {
+		if err := serve.MetricsDoc(res).WriteFile(metricsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "[serve] metrics written to %s\n", metricsPath)
+	}
+	if !res.InvariantOK {
+		return fmt.Errorf("serve: conservation violated: final balance %d, expected %d",
+			res.FinalTotal, res.ExpectedTotal)
+	}
+	fmt.Fprintf(out, "[serve] conservation verified: %d accounts sum to %d\n", eff.Users, res.FinalTotal)
+	return nil
+}
+
+func abortRate(res *serve.Result) float64 {
+	den := res.TxAborts + res.TxCommits
+	if den == 0 {
+		return 0
+	}
+	return float64(res.TxAborts) / float64(den)
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+
+	"bitc/internal/obs"
+	"bitc/internal/serve"
+)
+
+// TestServeSmoke runs the CI preset through the real flag path and checks
+// the conservation line and clean exit.
+func TestServeSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runServe([]string{"-smoke"}, &buf); err != nil {
+		t.Fatalf("smoke run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "conservation verified") {
+		t.Fatalf("no conservation line:\n%s", out)
+	}
+	if strings.Contains(out, "interrupted") {
+		t.Fatalf("smoke run reported an interruption:\n%s", out)
+	}
+}
+
+// TestServeRejectsFileArg pins the CLI contract: serve has no source file.
+func TestServeRejectsFileArg(t *testing.T) {
+	err := runServe([]string{"x.bitc"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "no source file") {
+		t.Fatalf("err = %v, want no-source-file error", err)
+	}
+}
+
+// TestServeCancelFlushesMetrics cancels a run mid-traffic and checks the
+// graceful-shutdown contract at the CLI layer: the run drains, the metrics
+// file is still written, and it records a conserving final state.
+func TestServeCancelFlushesMetrics(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "serve.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	opts := serve.Options{Shards: 2, Users: 500, Rate: 500, Duration: 1000, Cross: 0.2, Seed: 4}
+	if err := serveWith(ctx, opts, metrics, &buf); err != nil {
+		t.Fatalf("cancelled run errored: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "interrupted") {
+		t.Fatalf("no interruption notice:\n%s", buf.String())
+	}
+	doc, err := obs.ReadMetricsFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics not flushed on cancel: %v", err)
+	}
+	total := doc.Rows[len(doc.Rows)-1]
+	if total.Mode != "total" || total.Derived["invariantOK"] != 1 {
+		t.Fatalf("flushed metrics missing a conserving total row: %+v", total)
+	}
+}
+
+// signalOnFirstWrite releases its channel once the command under test has
+// produced output — by which point the signal handler is installed, so a
+// SIGTERM sent afterwards is guaranteed to hit the graceful path.
+type signalOnFirstWrite struct {
+	buf   bytes.Buffer
+	once  sync.Once
+	ready chan struct{}
+	mu    sync.Mutex
+}
+
+func (w *signalOnFirstWrite) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.once.Do(func() { close(w.ready) })
+	return w.buf.Write(p)
+}
+
+func (w *signalOnFirstWrite) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServeSIGTERMDrains sends a real SIGTERM to the test process while
+// `bitc serve` is mid-run and checks the daemon drains in-flight
+// transactions, flushes metrics, and exits cleanly with the invariant
+// intact — the end-to-end graceful-shutdown path.
+func TestServeSIGTERMDrains(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "sigterm.json")
+	w := &signalOnFirstWrite{ready: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		// A run far too long to finish on its own: only the signal ends it.
+		done <- runServe([]string{
+			"-shards", "4", "-users", "2000", "-rate", "400",
+			"-duration", "1000000", "-cross", "0.2", "-seed", "6",
+			"-metrics", metrics,
+		}, w)
+	}()
+	<-w.ready // banner printed → signal.NotifyContext is armed
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("SIGTERM run errored: %v\n%s", err, w.String())
+	}
+	out := w.String()
+	if !strings.Contains(out, "interrupted — drained") {
+		t.Fatalf("no drain notice:\n%s", out)
+	}
+	if !strings.Contains(out, "conservation verified") {
+		t.Fatalf("conservation not verified after SIGTERM:\n%s", out)
+	}
+	if _, err := obs.ReadMetricsFile(metrics); err != nil {
+		t.Fatalf("metrics not flushed after SIGTERM: %v", err)
+	}
+}

@@ -29,6 +29,16 @@ type analyzeConfig struct {
 	metrics  string // path of the bitc-metrics/v1 file -watch maintains
 	verify   bool   // -verify-cache
 	warm     bool   // -warm
+	keepRuns uint64 // -keep-runs: fact-store retention window (0 = default 8)
+}
+
+// retention returns the fact-store pruning window: facts untouched for this
+// many runs are evicted after each re-analysis.
+func (c analyzeConfig) retention() uint64 {
+	if c.keepRuns == 0 {
+		return 8
+	}
+	return c.keepRuns
 }
 
 // runAnalyze dispatches `bitc analyze` once the flags are parsed.
@@ -267,9 +277,9 @@ func (w *watcher) step(force bool) (bool, error) {
 			return true, err
 		}
 	}
-	// Bound the daemon's memory: facts untouched for several edits are
+	// Bound the daemon's memory: facts untouched for -keep-runs edits are
 	// garbage from definitions that no longer exist in that form.
-	w.store.Prune(8)
+	w.store.Prune(w.cfg.retention())
 	return true, nil
 }
 

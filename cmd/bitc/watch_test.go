@@ -99,6 +99,56 @@ func TestWatcherStep(t *testing.T) {
 	}
 }
 
+// TestWatcherKeepRuns pins the -keep-runs retention window: with a short
+// window, facts belonging to definitions that disappeared from the file are
+// evicted after that many runs; with the default window the same edit
+// sequence evicts nothing.
+func TestWatcherKeepRuns(t *testing.T) {
+	progA := corpus.Text(20, 5)
+	progB := corpus.Text(20, 11) // disjoint definitions: A's facts go stale
+
+	run := func(keepRuns uint64) (evicted uint64, entries int) {
+		t.Helper()
+		dir := t.TempDir()
+		path := filepath.Join(dir, "k.bitc")
+		writeAt := func(src string, sec int) {
+			t.Helper()
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			mt := time.Now().Add(time.Duration(sec) * time.Second)
+			if err := os.Chtimes(path, mt, mt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		w := newWatcher(path, analyzeConfig{opts: analysis.Options{}, keepRuns: keepRuns}, &buf)
+		writeAt(progA, 0)
+		for i := 1; i <= 3; i++ {
+			if i > 1 {
+				writeAt(progB, 2*i)
+			}
+			if ran, err := w.step(false); err != nil || !ran {
+				t.Fatalf("run %d: ran=%v err=%v", i, ran, err)
+			}
+		}
+		st := w.store.Stats()
+		return st.Evicted, st.Entries
+	}
+
+	evShort, entShort := run(1)
+	if evShort == 0 {
+		t.Fatal("keep-runs=1 evicted nothing after the old program's facts went stale")
+	}
+	evDefault, entDefault := run(0) // 0 falls back to the default window (8)
+	if evDefault != 0 {
+		t.Fatalf("default window evicted %d entries within 3 runs", evDefault)
+	}
+	if entShort >= entDefault {
+		t.Fatalf("short window retained %d entries, default %d — eviction had no effect", entShort, entDefault)
+	}
+}
+
 // TestVerifyCacheMode exercises the -verify-cache gate end to end on a
 // program with findings.
 func TestVerifyCacheMode(t *testing.T) {

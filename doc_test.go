@@ -23,6 +23,8 @@ var documentedPackages = []string{
 	"internal/core",
 	"internal/dataflow",
 	"internal/obs",
+	"internal/serve",
+	"internal/serve/load",
 	"internal/vm",
 }
 

@@ -144,6 +144,9 @@ func All() []Experiment {
 		{ID: "E8", Title: "Managing shared state (challenge 4)",
 			Claim: `unsynchronised code races; locks don't compose; STM composes`,
 			Run:   runE8},
+		{ID: "E9", Title: "Sharded STM transaction service under open-loop load",
+			Claim: `the mechanisms compose into a multi-tenant service: throughput scales with shards, aborts stay bounded, cross-shard 2PC conserves balance`,
+			Run:   runE9},
 	}
 }
 

@@ -33,7 +33,7 @@ func cell(t *Table, row, col int) string { return t.Rows[row][col] }
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 8 {
+	if len(exps) != 9 {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	for i, e := range exps {
@@ -250,8 +250,8 @@ func TestAblationsRun(t *testing.T) {
 			}
 		}
 	}
-	if len(AllWithAblations()) != 12 {
-		t.Error("AllWithAblations should have 12 entries")
+	if len(AllWithAblations()) != 13 {
+		t.Error("AllWithAblations should have 13 entries")
 	}
 	if ByID("A3") == nil {
 		t.Error("ablation lookup by ID failed")

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bitc/internal/obs"
+)
+
+// TestMetricsE9Determinism checks the serving exporter is byte-reproducible
+// under deterministic collection and carries the derived fields the E9
+// table reads — including a passing conservation verdict per shard count.
+func TestMetricsE9Determinism(t *testing.T) {
+	collect := func() (*obs.MetricsDoc, []byte) {
+		doc, err := CollectMetrics("E9", Quick, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc, b
+	}
+	doc, a := collect()
+	_, b := collect()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deterministic E9 collection produced different bytes:\n%s\n---\n%s", a, b)
+	}
+	if doc.Experiment != "E9" || doc.Generated != "" {
+		t.Fatalf("doc header: %+v", doc)
+	}
+	if len(doc.Rows) != 4 {
+		t.Fatalf("rows = %d, want one per shard count {1,2,4,8}", len(doc.Rows))
+	}
+	var prevShards float64
+	for _, row := range doc.Rows {
+		if row.WallNS != 0 {
+			t.Errorf("%s: deterministic row has wallNs = %d", row.Mode, row.WallNS)
+		}
+		if row.Derived["invariantOK"] != 1 {
+			t.Errorf("%s: conservation not verified", row.Mode)
+		}
+		if row.Counters.TxCommits == 0 {
+			t.Errorf("%s: no transactions committed", row.Mode)
+		}
+		if row.Derived["shards"] <= prevShards {
+			t.Errorf("shard counts not ascending: %v after %v", row.Derived["shards"], prevShards)
+		}
+		prevShards = row.Derived["shards"]
+	}
+	// The experiment's claim: the shard sweep scales committed throughput.
+	first, last := doc.Rows[0].Derived["committedPerRound"], doc.Rows[3].Derived["committedPerRound"]
+	if last <= first {
+		t.Errorf("throughput did not scale with shards: 1-shard %v vs 8-shard %v", first, last)
+	}
+}

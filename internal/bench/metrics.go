@@ -19,7 +19,7 @@ import (
 )
 
 // MetricsExperiments lists the experiments with a metrics exporter.
-func MetricsExperiments() []string { return []string{"E1", "E8", "EA", "ANALYZE"} }
+func MetricsExperiments() []string { return []string{"E1", "E8", "E9", "EA", "ANALYZE"} }
 
 // CollectMetrics runs the named experiment's workloads and returns the
 // metrics document. With deterministic set, wall-clock fields are zeroed so
@@ -30,6 +30,8 @@ func CollectMetrics(id string, p Params, deterministic bool) (*obs.MetricsDoc, e
 		return metricsE1(p, deterministic)
 	case "E8":
 		return metricsE8(p, deterministic)
+	case "E9":
+		return metricsE9(p, deterministic)
 	case "EA":
 		return metricsEA(p, deterministic)
 	case "ANALYZE":

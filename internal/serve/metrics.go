@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+
+	"bitc/internal/obs"
+)
+
+// histogram counts commit latencies in ticks (rounds). Latencies are small
+// integers — a transaction commits within its drain window — so a dense
+// slice indexed by ticks is exact, cheap, and deterministic.
+type histogram struct {
+	buckets []uint64
+	count   uint64
+}
+
+const histogramMax = 4096 // latencies beyond this clamp into the last bucket
+
+func newHistogram() *histogram { return &histogram{} }
+
+func (h *histogram) add(ticks int) {
+	if ticks < 0 {
+		ticks = 0
+	}
+	if ticks >= histogramMax {
+		ticks = histogramMax - 1
+	}
+	for len(h.buckets) <= ticks {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[ticks]++
+	h.count++
+}
+
+func (h *histogram) merge(o *histogram) {
+	for t, n := range o.buckets {
+		if n == 0 {
+			continue
+		}
+		for len(h.buckets) <= t {
+			h.buckets = append(h.buckets, 0)
+		}
+		h.buckets[t] += n
+	}
+	h.count += o.count
+}
+
+// percentile returns the p-th percentile latency in ticks (0 when empty).
+func (h *histogram) percentile(p int) int {
+	if h.count == 0 {
+		return 0
+	}
+	rank := (h.count*uint64(p) + 99) / 100
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for t, n := range h.buckets {
+		seen += n
+		if seen >= rank {
+			return t
+		}
+	}
+	return len(h.buckets) - 1
+}
+
+// MetricsDoc renders a Result as a bitc-metrics/v1 document: one row per
+// shard (mode "shard-N") carrying the shard VM's counters plus derived
+// serving metrics, and one aggregate row (mode "total"). Deterministic runs
+// produce byte-identical documents for a given seed.
+func MetricsDoc(res *Result) *obs.MetricsDoc {
+	doc := obs.NewMetricsDoc("SERVE", res.Opts.Deterministic)
+	for _, s := range res.Shards {
+		st := s.Stats
+		doc.Rows = append(doc.Rows, obs.Metrics{
+			Workload: "serve",
+			Mode:     fmt.Sprintf("shard-%d", s.ID),
+			N:        int64(s.Accounts),
+			Counters: obs.Counters{
+				Instrs:    st.Instrs,
+				Allocs:    st.Allocs,
+				HeapBytes: st.HeapBytes,
+				Switches:  st.Switches,
+				TxCommits: st.TxCommits,
+				TxAborts:  st.TxAborts,
+			},
+			Derived: map[string]float64{
+				"committed":       float64(s.Committed),
+				"rejected":        float64(s.Rejected),
+				"conflicts":       float64(s.Conflicts),
+				"queuePeak":       float64(s.QueuePeak),
+				"abortRate":       rate(st.TxAborts, st.TxAborts+st.TxCommits),
+				"p50LatencyTicks": float64(s.P50Ticks),
+				"p99LatencyTicks": float64(s.P99Ticks),
+			},
+		})
+	}
+	total := obs.Metrics{
+		Workload: "serve",
+		Mode:     "total",
+		N:        res.Opts.Users,
+		Counters: obs.Counters{TxCommits: res.TxCommits, TxAborts: res.TxAborts},
+		Derived: map[string]float64{
+			"shards":            float64(res.Opts.Shards),
+			"rounds":            float64(res.Rounds),
+			"generated":         float64(res.Generated),
+			"committed":         float64(res.Committed),
+			"crossCommitted":    float64(res.CrossCommitted),
+			"rejected":          float64(res.Rejected),
+			"crossRejected":     float64(res.CrossRejected),
+			"conflicts":         float64(res.Conflicts),
+			"retries":           float64(res.Retries),
+			"abortRate":         rate(res.TxAborts, res.TxAborts+res.TxCommits),
+			"p50LatencyTicks":   float64(res.P50Ticks),
+			"p99LatencyTicks":   float64(res.P99Ticks),
+			"committedPerRound": perRound(res),
+			"invariantOK":       b2f(res.InvariantOK),
+		},
+	}
+	if !res.Opts.Deterministic && res.WallNS > 0 {
+		total.WallNS = res.WallNS
+		total.Derived["throughputTps"] = float64(res.Committed+res.CrossCommitted) / (float64(res.WallNS) / 1e9)
+	}
+	doc.Rows = append(doc.Rows, total)
+	return doc
+}
+
+func rate(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func perRound(res *Result) float64 {
+	if res.Rounds == 0 {
+		return 0
+	}
+	return float64(res.Committed+res.CrossCommitted) / float64(res.Rounds)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

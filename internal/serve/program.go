@@ -1,0 +1,72 @@
+package serve
+
+import "fmt"
+
+// shardProgram returns the bitc source every shard VM runs. Each shard owns a
+// vector of per-account structs — one heap object per account, which is the
+// STM conflict granularity, so two transfers conflict only when they touch
+// the same account. The batch under execution is staged host-side and read
+// through the three sv_* externs (the simulated C FFI of challenge 2): the
+// program pulls transfer i's endpoints and amount by index, so batch intake
+// needs no per-transaction compilation or argument marshalling beyond three
+// int64 calls.
+//
+// The outer accounts vector is written only during init; after that its own
+// version never moves, so vector-ref adds a read-set entry that always
+// validates and cross-account transfers proceed in parallel.
+func shardProgram(capacity int64) string {
+	return fmt.Sprintf(`
+(defstruct account (bal int64))
+
+(define accounts (vector account) (make-vector %d (make account :bal 0)))
+
+(external sv-from (-> (int64) int64) "sv_from")
+(external sv-to   (-> (int64) int64) "sv_to")
+(external sv-amt  (-> (int64) int64) "sv_amt")
+
+; init replaces every slot with a fresh struct: make-vector's fill is one
+; shared object, which would collapse all accounts into a single STM cell.
+(define (init (n int64) (bal int64)) unit
+  (dotimes (i n)
+    (vector-set! accounts i (make account :bal bal))))
+
+; apply-one executes staged transfer i as one atomic transaction.
+(define (apply-one (i int64)) unit
+  (let ((fi (sv-from i)) (ti (sv-to i)) (am (sv-amt i)))
+    (atomic
+      (let ((fa (vector-ref accounts fi))
+            (ta (vector-ref accounts ti)))
+        (set-field! fa bal (- (field fa bal) am))
+        (set-field! ta bal (+ (field ta bal) am))))))
+
+; apply-worker strides over the staged batch: worker w takes transfers
+; w, w+stride, w+2·stride, …
+(define (apply-worker (w int64) (n int64) (stride int64)) unit
+  (let ((mutable i w))
+    (while (< i n)
+      (apply-one i)
+      (set! i (+ i stride)))))
+
+; apply-batch runs the staged batch of n transfers on workers green
+; threads and joins them all; the scheduler interleaves the threads under
+; its deterministic seed, so conflicts (and STM retries) are reproducible.
+(define (apply-batch (n int64) (workers int64)) int64
+  (let ((ws (min workers n)))
+    (let ((tids (make-vector ws 0)))
+      (dotimes (w ws)
+        (vector-set! tids w (spawn (apply-worker w n ws))))
+      (dotimes (w ws)
+        (join (vector-ref tids w)))
+      n)))
+
+; total sums the first n balances (quiescent use only: the service calls it
+; between rounds and at shutdown, never concurrently with a batch).
+(define (total (n int64)) int64
+  (let ((mutable sum 0))
+    (dotimes (i n)
+      (set! sum (+ sum (field (vector-ref accounts i) bal))))
+    sum))
+
+(define (main) int64 0)
+`, capacity)
+}

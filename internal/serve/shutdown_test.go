@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// cancelAfter is a deterministic context: it reports cancellation after Err
+// has been polled n times. Run polls once per round, so this cancels the
+// service at an exact round boundary regardless of timing.
+type cancelAfter struct {
+	polls int
+}
+
+func (c *cancelAfter) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *cancelAfter) Done() <-chan struct{}       { return nil }
+func (c *cancelAfter) Value(any) any               { return nil }
+func (c *cancelAfter) Err() error {
+	if c.polls <= 0 {
+		return context.Canceled
+	}
+	c.polls--
+	return nil
+}
+
+// TestGracefulShutdownDrains cancels a run mid-traffic while the mailboxes
+// hold a backlog (rate far above batch capacity) and checks the contract of
+// graceful shutdown: generation stops, every queued transaction still drains
+// to a commit or rejection, and the balance sum equals the seed sum.
+func TestGracefulShutdownDrains(t *testing.T) {
+	opts := Options{
+		Shards: 4, Users: 1000, Rate: 3000, Duration: 50,
+		Batch: 100, QueueCap: 2000, Cross: 0.3, Seed: 21,
+	}
+	sv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sv.Run(&cancelAfter{polls: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled run not marked interrupted")
+	}
+	// Generation stopped at the cancellation round, far short of Duration.
+	if res.Generated != 3*3000 {
+		t.Fatalf("generated %d after cancel at round 3, want %d", res.Generated, 3*3000)
+	}
+	// The backlog still drained: every admitted transaction completed.
+	if !sv.idle() {
+		t.Fatal("mailboxes not drained at shutdown")
+	}
+	handled := int64(res.Committed + res.CrossCommitted + res.Rejected + res.CrossRejected)
+	if handled != res.Generated {
+		t.Fatalf("accounting gap after drain: generated %d, handled %d", res.Generated, handled)
+	}
+	if res.Committed == 0 {
+		t.Fatal("drain committed nothing")
+	}
+	// Draining took extra rounds beyond the cancellation point.
+	if res.Rounds <= 3 {
+		t.Fatalf("no drain rounds ran: rounds = %d", res.Rounds)
+	}
+	if !res.InvariantOK {
+		t.Fatalf("conservation violated across shutdown: final %d, expected %d",
+			res.FinalTotal, res.ExpectedTotal)
+	}
+}
+
+// TestPreCancelledRunExitsClean checks the degenerate case: a context that
+// is already cancelled yields an immediate, invariant-clean exit with no
+// traffic generated.
+func TestPreCancelledRunExitsClean(t *testing.T) {
+	sv, err := New(Options{Shards: 2, Users: 100, Rate: 100, Duration: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sv.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted || res.Generated != 0 {
+		t.Fatalf("pre-cancelled run generated traffic: %+v", res)
+	}
+	if !res.InvariantOK {
+		t.Fatal("invariant check failed on an idle service")
+	}
+}

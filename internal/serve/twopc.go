@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"sync"
+
+	"bitc/internal/serve/load"
+	"bitc/internal/vm"
+)
+
+// Two-phase commit for cross-shard transfers.
+//
+// A coordinator drives one transfer at a time: it opens a vm.HostTxn on each
+// of the two shards involved (debit on the from-shard, credit on the
+// to-shard), prepares the participants in ascending shard index, and commits
+// both once both are prepared. Ascending-index prepare is the deadlock-
+// freedom argument: any two coordinators contending for the same pair of
+// shards acquire their prepare locks in the same global order, so one of
+// them always wins outright and the other aborts cleanly — there is no state
+// in which each holds a lock the other needs. Shards themselves never wait
+// on other shards: phase B runs strictly after the round's batches (phase A)
+// have finished, and a prepare failure aborts immediately instead of
+// blocking.
+//
+// A failed prepare (the footprint moved, or another coordinator holds a
+// prepare lock) aborts whatever was prepared and re-queues the transfer with
+// exponential backoff in rounds, bounded by Options.MaxRetries; exhausting
+// the budget counts a cross rejection. Commit-after-prepare cannot fail —
+// that is HostTxn's contract — so a transfer is never half-applied and the
+// conservation invariant survives any interleaving.
+
+// crossTxn is a cross-shard transfer waiting in the 2PC mailbox.
+type crossTxn struct {
+	t        load.Txn
+	attempts int
+	next     int // earliest round the next attempt may run (backoff)
+}
+
+// runCross drives phase B for one round: every due cross transfer gets one
+// 2PC attempt. With Coordinators == 1 (the Deterministic mode) attempts run
+// sequentially in mailbox order; otherwise a small worker pool drains the
+// due list, each worker serialising per-shard access through the shard
+// mutexes.
+func (sv *Service) runCross(round int) {
+	sv.xmu.Lock()
+	due := make([]*crossTxn, 0, len(sv.xq))
+	later := sv.xq[:0]
+	for _, x := range sv.xq {
+		if x.next <= round {
+			due = append(due, x)
+		} else {
+			later = append(later, x)
+		}
+	}
+	sv.xq = later
+	sv.xmu.Unlock()
+	if len(due) == 0 {
+		return
+	}
+	if sv.opts.Coordinators <= 1 {
+		for _, x := range due {
+			sv.attempt(x, round)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan *crossTxn)
+	for i := 0; i < sv.opts.Coordinators; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for x := range work {
+				sv.attempt(x, round)
+			}
+		}()
+	}
+	for _, x := range due {
+		work <- x
+	}
+	close(work)
+	wg.Wait()
+}
+
+// attempt runs one 2PC round-trip for x: prepare both participants in
+// ascending shard order, then commit both or abort and reschedule.
+func (sv *Service) attempt(x *crossTxn, round int) {
+	shards := int64(sv.opts.Shards)
+	from, to := sv.shards[x.t.From%shards], sv.shards[x.t.To%shards]
+	fi, ti := x.t.From/shards, x.t.To/shards
+
+	first, second := from, to
+	firstDelta, secondDelta := -x.t.Amount, x.t.Amount
+	firstIdx, secondIdx := fi, ti
+	if second.id < first.id {
+		first, second = second, first
+		firstDelta, secondDelta = secondDelta, firstDelta
+		firstIdx, secondIdx = secondIdx, firstIdx
+	}
+
+	tx1 := first.prepare(firstIdx, firstDelta)
+	if tx1 == nil {
+		sv.reschedule(x, round)
+		return
+	}
+	tx2 := second.prepare(secondIdx, secondDelta)
+	if tx2 == nil {
+		first.abortTxn(tx1)
+		sv.reschedule(x, round)
+		return
+	}
+	if err := first.commitTxn(tx1); err != nil {
+		sv.fail(err)
+		return
+	}
+	if err := second.commitTxn(tx2); err != nil {
+		sv.fail(err)
+		return
+	}
+	sv.xmu.Lock()
+	sv.crossCommitted++
+	sv.xlat.add(round - x.t.Arrival + 1)
+	sv.xmu.Unlock()
+}
+
+// reschedule re-queues x after a conflict with exponential backoff, or
+// rejects it once the retry budget is spent.
+func (sv *Service) reschedule(x *crossTxn, round int) {
+	x.attempts++
+	sv.xmu.Lock()
+	defer sv.xmu.Unlock()
+	if x.attempts > sv.opts.MaxRetries {
+		sv.crossRejected++
+		return
+	}
+	sv.retries++
+	shift := x.attempts - 1
+	if shift > 3 {
+		shift = 3
+	}
+	x.next = round + 1<<shift
+	sv.xq = append(sv.xq, x)
+}
+
+// prepare opens a host transaction on the shard that adjusts account `local`
+// by delta and prepares it. It returns nil — counting a conflict — when the
+// prepare fails (the account is locked by another coordinator or its version
+// moved); nothing stays locked in that case.
+func (s *shard) prepare(local, delta int64) *vm.HostTxn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx := s.vm.HostBegin()
+	acct := s.account(local)
+	bal := tx.Read(acct, 0)
+	tx.Write(acct, 0, vm.IntValue(bal.I+delta))
+	if !tx.Prepare() {
+		s.conflicts++
+		return nil
+	}
+	return tx
+}
+
+// commitTxn commits a prepared participant under the shard mutex.
+func (s *shard) commitTxn(tx *vm.HostTxn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return tx.Commit()
+}
+
+// abortTxn releases a prepared participant under the shard mutex.
+func (s *shard) abortTxn(tx *vm.HostTxn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx.Abort()
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"bitc/internal/serve/load"
+)
+
+// TestCrossShardTransferMovesMoney drives a single hand-built cross-shard
+// transfer through the 2PC path and checks both sides applied.
+func TestCrossShardTransferMovesMoney(t *testing.T) {
+	sv, err := New(Options{Shards: 2, Users: 100, Rate: 1, Duration: 1, InitialBalance: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Account 0 lives on shard 0 (local 0), account 1 on shard 1 (local 0).
+	x := &crossTxn{t: load.Txn{From: 0, To: 1, Amount: 40}}
+	sv.attempt(x, 0)
+	if sv.crossCommitted != 1 {
+		t.Fatalf("transfer did not commit: %+v", sv)
+	}
+	if got := sv.shards[0].account(0).Elems[0].I; got != 60 {
+		t.Fatalf("debit side = %d, want 60", got)
+	}
+	if got := sv.shards[1].account(0).Elems[0].I; got != 140 {
+		t.Fatalf("credit side = %d, want 140", got)
+	}
+	total, err := sv.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 100*100 {
+		t.Fatalf("total = %d, want 10000", total)
+	}
+}
+
+// TestConflictAbortsCleanly makes a coordinator lose its second prepare (the
+// target account is already prepare-locked) and checks the first participant
+// was released with nothing applied, and the transfer was rescheduled with
+// backoff.
+func TestConflictAbortsCleanly(t *testing.T) {
+	sv, err := New(Options{Shards: 2, Users: 100, Rate: 1, Duration: 1, InitialBalance: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lock account 1 (shard 1, local 0) as a rival coordinator would.
+	rival := sv.shards[1].prepare(0, -5)
+	if rival == nil {
+		t.Fatal("rival prepare failed")
+	}
+	x := &crossTxn{t: load.Txn{From: 0, To: 1, Amount: 40}}
+	sv.attempt(x, 0)
+	if sv.crossCommitted != 0 {
+		t.Fatal("transfer committed over a prepared participant")
+	}
+	if sv.shards[0].account(0).Prepared {
+		t.Fatal("losing coordinator left its first participant locked")
+	}
+	if got := sv.shards[0].account(0).Elems[0].I; got != 100 {
+		t.Fatalf("aborted transfer applied a debit: %d", got)
+	}
+	if len(sv.xq) != 1 || sv.xq[0].attempts != 1 || sv.xq[0].next != 1 {
+		t.Fatalf("conflict not rescheduled with backoff: %+v", sv.xq)
+	}
+	if sv.shards[1].conflicts != 1 {
+		t.Fatalf("conflict not counted: %d", sv.shards[1].conflicts)
+	}
+	sv.shards[1].abortTxn(rival)
+	// With the lock gone, the retry goes through.
+	sv.attempt(sv.xq[0], 1)
+	if sv.crossCommitted != 1 {
+		t.Fatal("retry after release did not commit")
+	}
+}
+
+// TestRetryBudgetExhaustionRejects pins the bounded-retry escape: a transfer
+// that conflicts MaxRetries+1 times is rejected, not retried forever.
+func TestRetryBudgetExhaustionRejects(t *testing.T) {
+	sv, err := New(Options{Shards: 2, Users: 100, MaxRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold the target account locked for the whole test.
+	rival := sv.shards[1].prepare(0, 0)
+	if rival == nil {
+		t.Fatal("rival prepare failed")
+	}
+	x := &crossTxn{t: load.Txn{From: 0, To: 1, Amount: 1}}
+	round := 0
+	for i := 0; i <= 3; i++ {
+		sv.xq = sv.xq[:0]
+		sv.attempt(x, round)
+		round += 16
+	}
+	if sv.crossRejected != 1 {
+		t.Fatalf("exhausted transfer not rejected: rejected=%d attempts=%d", sv.crossRejected, x.attempts)
+	}
+	if len(sv.xq) != 0 {
+		t.Fatal("rejected transfer still queued")
+	}
+	if sv.retries != 3 {
+		t.Fatalf("retries = %d, want 3", sv.retries)
+	}
+}
+
+// TestBackoffIsExponentialAndCapped checks the reschedule delays: 1, 2, 4,
+// 8, 8, … rounds.
+func TestBackoffIsExponentialAndCapped(t *testing.T) {
+	sv, err := New(Options{Shards: 2, Users: 100, MaxRetries: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := &crossTxn{t: load.Txn{From: 0, To: 1, Amount: 1}}
+	want := []int{1, 2, 4, 8, 8, 8}
+	for i, w := range want {
+		sv.xq = sv.xq[:0]
+		sv.reschedule(x, 100)
+		if x.next != 100+w {
+			t.Fatalf("attempt %d: next = %d, want %d", i+1, x.next, 100+w)
+		}
+	}
+}
+
+// TestHighCrossLoadConverges runs a cross-heavy contended workload with
+// parallel coordinators under the race detector: deadlock-freedom and
+// conservation under real concurrency.
+func TestHighCrossLoadConverges(t *testing.T) {
+	sv, err := New(Options{
+		Shards: 8, Users: 800, Rate: 800, Duration: 5,
+		Cross: 0.8, Skew: 0.6, Coordinators: 8, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.InvariantOK {
+		t.Fatalf("conservation violated: final %d, expected %d", res.FinalTotal, res.ExpectedTotal)
+	}
+	if res.CrossCommitted == 0 {
+		t.Fatal("cross-heavy run committed no cross transfers")
+	}
+	t.Logf("cross=%d conflicts=%d retries=%d rejected=%d rounds=%d",
+		res.CrossCommitted, res.Conflicts, res.Retries, res.CrossRejected, res.Rounds)
+}

@@ -574,9 +574,9 @@ func (v *VM) castValue(val Value, target *types.Type) Value {
 // Without this the simulated boundary would be cheaper than a native call,
 // which no real system exhibits; transitionPasses is calibrated so the
 // boundary costs a small multiple of an interpreted call, matching the
-// cgo/JNI-style transitions the legacy problem is about.
-var externShadow [64]uint64
-
+// cgo/JNI-style transitions the legacy problem is about. The buffer lives on
+// the VM (see VM.externShadow) so independent VMs — e.g. the per-shard
+// machines of internal/serve — can cross the boundary in parallel.
 const transitionPasses = 8
 
 // callExtern crosses the simulated C ABI: scalar arguments are marshalled
@@ -592,15 +592,15 @@ func (v *VM) callExtern(fr *Frame, in *ir.Instr) error {
 	// Transition prologue: spill the register window and scrub the shadow
 	// stack area, once per pass of the calibrated transition cost.
 	spill := len(fr.regs)
-	if spill > len(externShadow) {
-		spill = len(externShadow)
+	if spill > len(v.externShadow) {
+		spill = len(v.externShadow)
 	}
 	for pass := 0; pass < transitionPasses; pass++ {
 		for i := 0; i < spill; i++ {
-			externShadow[i] = uint64(fr.regs[i].I) ^ uint64(i+pass)
+			v.externShadow[i] = uint64(fr.regs[i].I) ^ uint64(i+pass)
 		}
-		for i := spill; i < len(externShadow); i++ {
-			externShadow[i] = externShadow[i]*2862933555777941757 + uint64(i)
+		for i := spill; i < len(v.externShadow); i++ {
+			v.externShadow[i] = v.externShadow[i]*2862933555777941757 + uint64(i)
 		}
 	}
 	args := make([]int64, len(in.Args))
@@ -631,8 +631,8 @@ func (v *VM) callExtern(fr *Frame, in *ir.Instr) error {
 	// work cannot be optimised out).
 	var guard uint64
 	for pass := 0; pass < transitionPasses; pass++ {
-		for i := 0; i < len(externShadow); i++ {
-			guard ^= externShadow[i] + uint64(pass)
+		for i := 0; i < len(v.externShadow); i++ {
+			guard ^= v.externShadow[i] + uint64(pass)
 		}
 	}
 	if guard == 0xDEADBEEFDEADBEEF {

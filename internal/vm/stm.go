@@ -48,6 +48,16 @@ func (v *VM) atomicEnd(t *Thread) error {
 	if tx.depth > 0 {
 		return nil
 	}
+	// A host-prepared object in the write set forces a retry: a prepared
+	// two-phase transaction has already validated against current versions,
+	// and its commit must not be invalidated from under the coordinator.
+	// (Read-only overlap is fine — the reader serialises before the host
+	// commit, and version validation below catches anything later.)
+	for o := range tx.writes {
+		if o.Prepared {
+			return v.atomicRetry(t)
+		}
+	}
 	// Validate the read set.
 	for o, ver := range tx.reads {
 		if o.Version != ver {
@@ -131,6 +141,146 @@ func (tx *txn) write(o *Object, i int, val Value) {
 		tx.writes[o] = w
 	}
 	w[i] = val
+}
+
+// ---------------------------------------------------------------------------
+// Host transactions (two-phase commit participants)
+// ---------------------------------------------------------------------------
+
+// HostTxn is a host-coordinated optimistic transaction over one VM's heap:
+// the shard-local participant of a transaction spanning several VMs (the
+// cross-shard transfers of internal/serve). Reads record object versions and
+// writes are buffered, exactly like the in-VM atomic form; the difference is
+// that commit is split into Prepare (validate the footprint and lock it) and
+// Commit (apply, bump versions, unlock), so a coordinator can run two-phase
+// commit across participants with Abort as the rollback path.
+//
+// Protocol guarantees, given the usage contract below:
+//
+//   - after Prepare returns true, Commit cannot fail: every touched object
+//     is version-validated and flagged Prepared, in-VM transactions that
+//     would write a prepared object abort and retry (see atomicEnd), and a
+//     concurrent HostTxn touching it fails its own Prepare instead;
+//   - Abort releases the locks without applying anything, so a coordinator
+//     can back out of a partially prepared transaction.
+//
+// Usage contract: a HostTxn's methods must not run concurrently with the
+// VM's own execution or with another HostTxn on the same VM — the VM is
+// single-threaded and the host must provide that exclusion (internal/serve
+// holds a per-shard mutex and never overlaps 2PC with batch execution).
+type HostTxn struct {
+	vm     *VM
+	reads  map[*Object]uint64
+	writes map[*Object]map[int]Value
+	state  hostTxnState
+}
+
+// hostTxnState tracks the prepare/commit/abort lifecycle.
+type hostTxnState int
+
+const (
+	hostActive hostTxnState = iota
+	hostPrepared
+	hostDone
+)
+
+// HostBegin opens a host transaction on this VM's heap.
+func (v *VM) HostBegin() *HostTxn {
+	return &HostTxn{
+		vm:     v,
+		reads:  map[*Object]uint64{},
+		writes: map[*Object]map[int]Value{},
+	}
+}
+
+// Read returns the transactional view of o.Elems[i], recording o's version
+// at first touch.
+func (tx *HostTxn) Read(o *Object, i int) Value {
+	if w, ok := tx.writes[o]; ok {
+		if val, ok := w[i]; ok {
+			return val
+		}
+	}
+	if _, seen := tx.reads[o]; !seen {
+		tx.reads[o] = o.Version
+	}
+	return o.Elems[i]
+}
+
+// Write buffers a transactional store to o.Elems[i].
+func (tx *HostTxn) Write(o *Object, i int, val Value) {
+	if _, seen := tx.reads[o]; !seen {
+		tx.reads[o] = o.Version
+	}
+	w, ok := tx.writes[o]
+	if !ok {
+		w = map[int]Value{}
+		tx.writes[o] = w
+	}
+	w[i] = val
+}
+
+// Prepare validates the transaction's whole footprint (reads and writes)
+// and locks it. It returns false — leaving nothing locked, and counting a
+// VM-level abort — when any touched object is already prepared by another
+// host transaction or has moved past the recorded version; the coordinator
+// then aborts the other participants and retries later.
+func (tx *HostTxn) Prepare() bool {
+	if tx.state != hostActive {
+		return false
+	}
+	for o, ver := range tx.reads {
+		if o.Prepared || o.Version != ver {
+			tx.state = hostDone
+			tx.vm.Stats.TxAborts++
+			return false
+		}
+	}
+	for o := range tx.reads {
+		o.Prepared = true
+	}
+	tx.state = hostPrepared
+	return true
+}
+
+// Commit applies the buffered writes, bumps the written objects' versions,
+// and releases the prepare locks. Calling it on a transaction that is not
+// prepared — or whose validation was somehow invalidated, which the usage
+// contract makes impossible — is a protocol violation and returns an error.
+func (tx *HostTxn) Commit() error {
+	if tx.state != hostPrepared {
+		return trapf("host transaction commit without a successful prepare")
+	}
+	for o, ver := range tx.reads {
+		if o.Version != ver {
+			return trapf("host transaction invalidated between prepare and commit (protocol violation)")
+		}
+	}
+	for o, fields := range tx.writes {
+		for i, val := range fields {
+			o.Elems[i] = val
+		}
+		o.Version++
+	}
+	for o := range tx.reads {
+		o.Prepared = false
+	}
+	tx.state = hostDone
+	tx.vm.Stats.TxCommits++
+	return nil
+}
+
+// Abort releases the prepare locks (if held) without applying anything. It
+// is safe to call in any state; aborting a prepared transaction counts a
+// VM-level abort.
+func (tx *HostTxn) Abort() {
+	if tx.state == hostPrepared {
+		for o := range tx.reads {
+			o.Prepared = false
+		}
+		tx.vm.Stats.TxAborts++
+	}
+	tx.state = hostDone
 }
 
 // ---------------------------------------------------------------------------

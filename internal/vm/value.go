@@ -146,6 +146,11 @@ type Object struct {
 	Region int
 	// Version supports STM conflict detection.
 	Version uint64
+	// Prepared marks the object locked by a prepared host transaction (the
+	// participant half of a cross-VM two-phase commit; see HostTxn). An
+	// in-VM transaction whose write set touches a prepared object aborts
+	// and retries rather than invalidating the prepared commit.
+	Prepared bool
 }
 
 // String renders an object shallowly.

@@ -162,6 +162,10 @@ type VM struct {
 	// curThread is the thread currently executing a quantum; allocation
 	// hooks use it to attribute work without widening hot signatures.
 	curThread *Thread
+
+	// externShadow is the per-VM FFI transition scratch buffer (see the
+	// comment above transitionPasses in exec.go).
+	externShadow [64]uint64
 }
 
 // New creates a VM for mod.
@@ -208,6 +212,24 @@ func (v *VM) Quantum() int { return v.opts.Quantum }
 
 // Observer returns the attached observability recorder, or nil.
 func (v *VM) Observer() *obs.Recorder { return v.obs }
+
+// Global returns the current value of the named module-level global, or
+// false when no such global exists or globals have not been initialised yet
+// (they initialise on the first Run/RunFunc). Hosts embedding the VM — the
+// serving subsystem reads each shard's account vector this way — get direct
+// heap handles from it; mutating what they reach must go through a HostTxn
+// (or happen while the VM is otherwise quiescent) to keep STM sound.
+func (v *VM) Global(name string) (Value, bool) {
+	if v.globals == nil {
+		return Value{}, false
+	}
+	for i, g := range v.mod.Globals {
+		if g.Name == name {
+			return v.globals[i], true
+		}
+	}
+	return Value{}, false
+}
 
 func (v *VM) rng() uint64 {
 	// xorshift64*

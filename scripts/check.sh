@@ -72,6 +72,15 @@ fi
 # registry one-to-one (see scripts/docs-check.sh).
 BITC_BIN=/tmp/bitc-check sh scripts/docs-check.sh
 
+# Serving smoke gate (~2s): 10k transactions across 4 shards with
+# cross-shard 2PC transfers; `bitc serve` exits non-zero unless the
+# conservation-of-balance invariant holds at shutdown (see docs/serve.md).
+/tmp/bitc-check serve -smoke
+
+# The serving subsystem mixes real OS threads (shard batches, 2PC
+# coordinators) with VM green threads — hold it to the race detector.
+go test -race -count=1 ./internal/serve/...
+
 rm -f "$current" /tmp/bitc-check
 
 # Incremental scale gate: on the synthetic ~100k-function corpus, (1) a warm
