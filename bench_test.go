@@ -126,6 +126,7 @@ func BenchmarkAnalysisInterproc(b *testing.B) {
 		{"cfg-dataflow", []string{"definit", "truncate"}},
 		{"pointsto", []string{"escape", "deadstore"}},
 		{"interproc", []string{"race", "deadlock"}},
+		{"atomicity", []string{"atomicity"}},
 		{"full", nil},
 	}
 	for _, tier := range tiers {
@@ -186,7 +187,7 @@ func BenchmarkPointsTo(b *testing.B) {
 }
 
 // BenchmarkAnalysisDriver measures static-analyzer throughput over the
-// golden corpus: the full seven-analyzer suite under the sequential driver
+// golden corpus: the full eight-analyzer suite under the sequential driver
 // vs the bounded parallel worker pool. Findings-per-run is reported so a
 // checker regression that silently changes coverage shows up here too.
 func BenchmarkAnalysisDriver(b *testing.B) {
@@ -277,6 +278,59 @@ func BenchmarkAnalysisIncremental(b *testing.B) {
 			}
 			if _, err := p.AnalyzeWithStore(opts, store); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAnalysisAtomicity prices the transaction-safety pass family
+// (BITC-ATOM001..004) over the pinned example corpus — the programs with
+// real atomic regions, externs, shard locks, and retry loops — cold against
+// a fresh fact store and warm out of a primed one. The warm row is what a
+// `-watch` daemon pays to keep the atomicity verdicts current.
+func BenchmarkAnalysisAtomicity(b *testing.B) {
+	pinned, err := filepath.Glob("internal/core/testdata/analyze/*.bitc")
+	if err != nil || len(pinned) == 0 {
+		b.Fatalf("no pinned examples: %v", err)
+	}
+	var progs []*core.Program
+	for _, path := range pinned {
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			b.Fatal(rerr)
+		}
+		progs = append(progs, core.MustLoad(filepath.Base(path), string(src), core.DefaultConfig))
+	}
+	opts := analysis.Options{Enable: []string{"atomicity"}, Parallelism: 1}
+
+	b.Run("cold", func(b *testing.B) {
+		findings := 0
+		for i := 0; i < b.N; i++ {
+			findings = 0
+			for _, p := range progs {
+				rep, aerr := p.AnalyzeWithStore(opts, factstore.New())
+				if aerr != nil {
+					b.Fatal(aerr)
+				}
+				findings += len(rep.Findings)
+			}
+		}
+		b.ReportMetric(float64(findings), "findings")
+	})
+	b.Run("warm", func(b *testing.B) {
+		stores := make([]*factstore.Store, len(progs))
+		for i, p := range progs {
+			stores[i] = factstore.New()
+			if _, err := p.AnalyzeWithStore(opts, stores[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, p := range progs {
+				if _, err := p.AnalyzeWithStore(opts, stores[j]); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

@@ -25,18 +25,24 @@
 //	                             just the BITC lint codes, one per line)
 //	bitc serve [-shards N] [-users N] [-rate N] [-duration N] [-skew F]
 //	           [-cross F] [-seed N] [-deterministic] [-metrics out.json]
-//	           [-smoke]
+//	           [-smoke] [-emit-program shard|twopc]
 //	                             run the sharded STM transaction service
 //	                             (internal/serve) under open-loop load and
 //	                             report throughput, abort rate, and latency;
 //	                             SIGINT/SIGTERM drains in-flight work before
-//	                             exiting. -smoke is the fixed CI preset.
+//	                             exiting. -smoke is the fixed CI preset;
+//	                             -emit-program prints a generated bitc
+//	                             program (for self-analysis) and exits.
 //	bitc dump-ir <file>          print the optimised IR
 //	bitc dump-layout <file>      print struct layouts (packed/natural/boxed)
 //	bitc fmt <file>              print the normalised program
 //
 // Analyzers (select with -enable/-disable; codes appear in findings):
 //
+//	atomicity  BITC-ATOM001..004  shared writes outside atomic regions,
+//	                              irreversible effects inside atomics,
+//	                              descending 2PC prepare order, nested
+//	                              atomics and unbounded retry loops
 //	deadlock   BITC-DLOCK001/002  lock-order cycles, re-entrant acquisition
 //	deadstore  BITC-DEAD001/002   dead (alias-aware) stores, unused bindings
 //	definit    BITC-INIT001       mutable locals read before first set!

@@ -37,6 +37,7 @@ func runServe(args []string, out io.Writer) error {
 	deterministic := fs.Bool("deterministic", false, "single-coordinator 2PC and no wall-clock fields (byte-reproducible output)")
 	metricsOut := fs.String("metrics", "", "write a bitc-metrics/v1 JSON document here")
 	smoke := fs.Bool("smoke", false, "CI preset: 4 shards, 10k transactions with cross-shard transfers, deterministic")
+	emit := fs.String("emit-program", "", "print a generated bitc program instead of serving: shard (per-shard STM batch program) or twopc (2PC prepare-order model)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +50,14 @@ func runServe(args []string, out io.Writer) error {
 		Coordinators: *coordinators, MaxRetries: *maxRetries,
 		Skew: *skew, Cross: *cross, Seed: *seed, Quantum: *quantum,
 		InitialBalance: *balance, Deterministic: *deterministic,
+	}
+	if *emit != "" {
+		src, err := serve.EmitProgram(*emit, opts)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(out, src)
+		return err
 	}
 	if *smoke {
 		// 5 rounds × 2000 tps = 10k transactions, 20% of them cross-shard.

@@ -162,3 +162,68 @@ func TestVerifyCacheMode(t *testing.T) {
 		t.Fatalf("verify-cache failed on a clean program: %v", err)
 	}
 }
+
+// TestWatcherAtomDelta drives the poll step through an edit that strips the
+// atomic wrapper off a shared write: the warm rerun must print the new
+// BITC-ATOM001 finding as a `+` delta, and reverting the edit must retire
+// it with a `-` delta — the daemon-facing contract for the transaction
+// checkers.
+func TestWatcherAtomDelta(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.bitc")
+	clean := `
+(defstruct cell (v int64))
+(define counter cell (make cell :v 0))
+(define (txn) unit
+  (atomic (set-field! counter v (+ (field counter v) 1))))
+(define (poke) unit
+  (atomic (set-field! counter v 5)))
+(define (main) unit
+  (let ((t (spawn (txn)))) (poke) (join t)))
+`
+	bare := strings.Replace(clean,
+		"(atomic (set-field! counter v 5))", "(set-field! counter v 5)", 1)
+	writeAt := func(src string, sec int) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mt := time.Now().Add(time.Duration(sec) * time.Second)
+		if err := os.Chtimes(path, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeAt(clean, 0)
+
+	var buf bytes.Buffer
+	w := newWatcher(path, analyzeConfig{opts: analysis.Options{}}, &buf)
+	if ran, err := w.step(false); err != nil || !ran {
+		t.Fatalf("cold step: ran=%v err=%v", ran, err)
+	}
+	if strings.Contains(buf.String(), "BITC-ATOM") {
+		t.Fatalf("clean program already carries ATOM findings:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	writeAt(bare, 2)
+	if ran, err := w.step(false); err != nil || !ran {
+		t.Fatalf("edited step: ran=%v err=%v", ran, err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "run 2 (warm)") {
+		t.Fatalf("edited run not served warm:\n%s", out)
+	}
+	if !strings.Contains(out, "+ ") || !strings.Contains(out, "BITC-ATOM001") {
+		t.Fatalf("new ATOM001 finding not printed as a delta:\n%s", out)
+	}
+
+	buf.Reset()
+	writeAt(clean, 4)
+	if ran, err := w.step(false); err != nil || !ran {
+		t.Fatalf("revert step: ran=%v err=%v", ran, err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "- ") || !strings.Contains(out, "BITC-ATOM001") {
+		t.Fatalf("retired ATOM001 finding not printed as a `-` delta:\n%s", out)
+	}
+}

@@ -380,6 +380,31 @@ func aggregateStore(prog *ast.Program, k *progKeys,
 		}
 	}
 	s.Races = concurrent.FindRaces(accesses)
+	s.SharedAccesses = accesses
+
+	foldAtomicFacts(s, k.cg.Names, func(name string) ([]AtomicSite, []EffectSite, []RetrySite) {
+		ce := cached[k.fnIndex[name]]
+		if ce == nil {
+			return nil, nil, nil
+		}
+		var atomics []AtomicSite
+		var irrev []EffectSite
+		var retries []RetrySite
+		for _, s := range ce.Atomics {
+			if s.Nested { // the fold only keeps nested sites
+				atomics = append(atomics, decodeAtomicSite(k.ix, s))
+			}
+		}
+		for _, s := range ce.Irrev {
+			if s.Atomic { // the fold only keeps atomic-context effects
+				irrev = append(irrev, decodeEffectSite(k.ix, s))
+			}
+		}
+		for _, s := range ce.Retries {
+			retries = append(retries, decodeRetrySite(k.ix, s))
+		}
+		return atomics, irrev, retries
+	})
 	return s
 }
 
@@ -720,12 +745,35 @@ type cachedAccess struct {
 	Spawned bool
 }
 
+type cachedAtomicSite struct {
+	Span   factstore.RelSpan
+	Fn     string
+	Nested bool
+}
+
+type cachedEffectSite struct {
+	Kind   string
+	Name   string
+	Span   factstore.RelSpan
+	Fn     string
+	Atomic bool
+}
+
+type cachedRetrySite struct {
+	Span factstore.RelSpan
+	Fn   string
+	Cond string
+}
+
 // cachedEffects is FuncEffects with relative spans.
 type cachedEffects struct {
 	Acquires map[string]cachedSite
 	Edges    map[string]map[string]cachedSite
 	Self     map[string]cachedSite
 	Accesses []cachedAccess
+	Atomics  []cachedAtomicSite
+	Irrev    []cachedEffectSite
+	Retries  []cachedRetrySite
 	// VHash is a content hash of the encoded value itself, not of its
 	// derivation: summaries recomputed to the same value share it across
 	// edits, which is what lets the aggregation early cutoff fire.
@@ -750,6 +798,30 @@ func decodeAccess(ix *factstore.Index, ca cachedAccess) concurrent.Access {
 		Span: ix.Abs(ca.Span), Func: ca.Func,
 		Lockset: ca.Lockset, Spawned: ca.Spawned,
 	}
+}
+
+func encodeAtomicSite(ix *factstore.Index, s AtomicSite) cachedAtomicSite {
+	return cachedAtomicSite{Span: ix.Rel(s.Span), Fn: s.Fn, Nested: s.Nested}
+}
+
+func decodeAtomicSite(ix *factstore.Index, s cachedAtomicSite) AtomicSite {
+	return AtomicSite{Span: ix.Abs(s.Span), Fn: s.Fn, Nested: s.Nested}
+}
+
+func encodeEffectSite(ix *factstore.Index, s EffectSite) cachedEffectSite {
+	return cachedEffectSite{Kind: s.Kind, Name: s.Name, Span: ix.Rel(s.Span), Fn: s.Fn, Atomic: s.Atomic}
+}
+
+func decodeEffectSite(ix *factstore.Index, s cachedEffectSite) EffectSite {
+	return EffectSite{Kind: s.Kind, Name: s.Name, Span: ix.Abs(s.Span), Fn: s.Fn, Atomic: s.Atomic}
+}
+
+func encodeRetrySite(ix *factstore.Index, s RetrySite) cachedRetrySite {
+	return cachedRetrySite{Span: ix.Rel(s.Span), Fn: s.Fn, Cond: s.Cond}
+}
+
+func decodeRetrySite(ix *factstore.Index, s cachedRetrySite) RetrySite {
+	return RetrySite{Span: ix.Abs(s.Span), Fn: s.Fn, Cond: s.Cond}
 }
 
 func encodeEffects(ix *factstore.Index, eff *FuncEffects) *cachedEffects {
@@ -785,6 +857,24 @@ func encodeEffects(ix *factstore.Index, eff *FuncEffects) *cachedEffects {
 			ce.Accesses[i] = encodeAccess(ix, ac)
 		}
 	}
+	if len(eff.Atomics) > 0 {
+		ce.Atomics = make([]cachedAtomicSite, len(eff.Atomics))
+		for i, s := range eff.Atomics {
+			ce.Atomics[i] = encodeAtomicSite(ix, s)
+		}
+	}
+	if len(eff.Irrev) > 0 {
+		ce.Irrev = make([]cachedEffectSite, len(eff.Irrev))
+		for i, s := range eff.Irrev {
+			ce.Irrev[i] = encodeEffectSite(ix, s)
+		}
+	}
+	if len(eff.Retries) > 0 {
+		ce.Retries = make([]cachedRetrySite, len(eff.Retries))
+		for i, s := range eff.Retries {
+			ce.Retries[i] = encodeRetrySite(ix, s)
+		}
+	}
 	ce.VHash = effectsVHash(ce)
 	return ce
 }
@@ -816,6 +906,15 @@ func effectsVHash(ce *cachedEffects) string {
 			relStr(ac.Span), ac.Func, strconv.Itoa(len(ac.Lockset)))
 		parts = append(parts, ac.Lockset...)
 		parts = append(parts, bit(ac.Spawned))
+	}
+	for _, s := range ce.Atomics {
+		parts = append(parts, "t", relStr(s.Span), s.Fn, bit(s.Nested))
+	}
+	for _, s := range ce.Irrev {
+		parts = append(parts, "i", s.Kind, s.Name, relStr(s.Span), s.Fn, bit(s.Atomic))
+	}
+	for _, s := range ce.Retries {
+		parts = append(parts, "r", relStr(s.Span), s.Fn, s.Cond)
 	}
 	return factstore.Hash(parts...)
 }
@@ -861,6 +960,24 @@ func decodeEffects(ix *factstore.Index, name string, ce *cachedEffects) *FuncEff
 			eff.Accesses[i] = decodeAccess(ix, ac)
 		}
 	}
+	if len(ce.Atomics) > 0 {
+		eff.Atomics = make([]AtomicSite, len(ce.Atomics))
+		for i, s := range ce.Atomics {
+			eff.Atomics[i] = decodeAtomicSite(ix, s)
+		}
+	}
+	if len(ce.Irrev) > 0 {
+		eff.Irrev = make([]EffectSite, len(ce.Irrev))
+		for i, s := range ce.Irrev {
+			eff.Irrev[i] = decodeEffectSite(ix, s)
+		}
+	}
+	if len(ce.Retries) > 0 {
+		eff.Retries = make([]RetrySite, len(ce.Retries))
+		for i, s := range ce.Retries {
+			eff.Retries[i] = decodeRetrySite(ix, s)
+		}
+	}
 	return eff
 }
 
@@ -870,9 +987,13 @@ func decodeEffects(ix *factstore.Index, name string, ce *cachedEffects) *FuncEff
 // order, so one entry serves every edit that leaves all summary values
 // unchanged.
 type cachedAgg struct {
-	Edges []cachedAggEdge
-	Self  []cachedAggSelf
-	Races []cachedRace
+	Edges   []cachedAggEdge
+	Self    []cachedAggSelf
+	Races   []cachedRace
+	Shared  []cachedAccess
+	Nested  []cachedAtomicSite
+	Effects []cachedEffectSite
+	Retries []cachedRetrySite
 }
 
 type cachedAggEdge struct {
@@ -911,6 +1032,30 @@ func encodeAgg(ix *factstore.Index, s *Summaries) *cachedAgg {
 			}
 		}
 	}
+	if len(s.SharedAccesses) > 0 {
+		ca.Shared = make([]cachedAccess, len(s.SharedAccesses))
+		for i, ac := range s.SharedAccesses {
+			ca.Shared[i] = encodeAccess(ix, ac)
+		}
+	}
+	if len(s.NestedAtomics) > 0 {
+		ca.Nested = make([]cachedAtomicSite, len(s.NestedAtomics))
+		for i, a := range s.NestedAtomics {
+			ca.Nested[i] = encodeAtomicSite(ix, a)
+		}
+	}
+	if len(s.AtomicEffects) > 0 {
+		ca.Effects = make([]cachedEffectSite, len(s.AtomicEffects))
+		for i, e := range s.AtomicEffects {
+			ca.Effects[i] = encodeEffectSite(ix, e)
+		}
+	}
+	if len(s.RetryLoops) > 0 {
+		ca.Retries = make([]cachedRetrySite, len(s.RetryLoops))
+		for i, r := range s.RetryLoops {
+			ca.Retries[i] = encodeRetrySite(ix, r)
+		}
+	}
 	return ca
 }
 
@@ -940,6 +1085,30 @@ func decodeAgg(k *progKeys, effects map[string]*FuncEffects, ca *cachedAgg) *Sum
 				A:        decodeAccess(k.ix, r.A),
 				B:        decodeAccess(k.ix, r.B),
 			}
+		}
+	}
+	if len(ca.Shared) > 0 {
+		s.SharedAccesses = make([]concurrent.Access, len(ca.Shared))
+		for i, ac := range ca.Shared {
+			s.SharedAccesses[i] = decodeAccess(k.ix, ac)
+		}
+	}
+	if len(ca.Nested) > 0 {
+		s.NestedAtomics = make([]AtomicSite, len(ca.Nested))
+		for i, a := range ca.Nested {
+			s.NestedAtomics[i] = decodeAtomicSite(k.ix, a)
+		}
+	}
+	if len(ca.Effects) > 0 {
+		s.AtomicEffects = make([]EffectSite, len(ca.Effects))
+		for i, e := range ca.Effects {
+			s.AtomicEffects[i] = decodeEffectSite(k.ix, e)
+		}
+	}
+	if len(ca.Retries) > 0 {
+		s.RetryLoops = make([]RetrySite, len(ca.Retries))
+		for i, r := range ca.Retries {
+			s.RetryLoops[i] = decodeRetrySite(k.ix, r)
 		}
 	}
 	return s

@@ -35,6 +35,39 @@ type LockSite struct {
 	Fn   string // function lexically containing the event
 }
 
+// AtomicSite is one (atomic ...) region entry observed in a summary. Nested
+// marks a site reachable while another atomic region is already open —
+// directly, or through any chain of calls.
+type AtomicSite struct {
+	Span   source.Span
+	Fn     string // function lexically containing the atomic form
+	Nested bool
+}
+
+// EffectSite is one irreversible effect — an extern/FFI call, an observable
+// I/O builtin, a channel operation, or a spawn — with its transactional
+// context. Atomic marks a site reachable inside an atomic region (directly
+// or through callees); such an effect re-executes when the STM retries the
+// transaction, or traps outright, and can never be rolled back.
+type EffectSite struct {
+	Kind   string // "extern", "io", "send", "recv", "spawn", "join"
+	Name   string // callee or builtin name
+	Span   source.Span
+	Fn     string // function lexically containing the effect
+	Atomic bool
+}
+
+// RetrySite is an atomic region entered under an application-level retry
+// loop whose condition re-reads shared state: the loop re-runs the
+// transaction without any retry budget, on top of the STM's own internal
+// retries — the unbounded-livelock shape the 2PC coordinator's bounded
+// backoff exists to avoid.
+type RetrySite struct {
+	Span source.Span
+	Fn   string
+	Cond string // the shared location ("global.field") the loop re-reads
+}
+
 // FuncEffects is one function's summary.
 type FuncEffects struct {
 	Name string
@@ -49,6 +82,14 @@ type FuncEffects struct {
 	// function entry (entered with no locks held). Accesses under a spawn
 	// keep their own locksets when instantiated at call sites.
 	Accesses []concurrent.Access
+	// Atomics are the atomic-region entries this function may perform,
+	// directly or through callees.
+	Atomics []AtomicSite
+	// Irrev are the irreversible-effect sites (extern calls, I/O, channel
+	// ops, spawns) with their atomic context relative to function entry.
+	Irrev []EffectSite
+	// Retries are atomic entries under unbounded shared-state retry loops.
+	Retries []RetrySite
 }
 
 // Summaries is the whole-program summary set plus the derived whole-program
@@ -65,6 +106,17 @@ type Summaries struct {
 	// ordering purposes).
 	LockEdges map[string]map[string]LockSite
 	LockSelf  map[string]LockSite
+	// SharedAccesses are the entry-reachable shared accesses Races was
+	// derived from — the atomicity checker's view of which locations are
+	// STM-managed and which mutations bypass the transactions.
+	SharedAccesses []concurrent.Access
+	// NestedAtomics, AtomicEffects, and RetryLoops are the union over every
+	// function (any function is a potential entry) of nested atomic entries,
+	// irreversible effects reachable inside an atomic region, and atomics
+	// under unbounded shared-state retry loops.
+	NestedAtomics []AtomicSite
+	AtomicEffects []EffectSite
+	RetryLoops    []RetrySite
 }
 
 // ComputeSummaries builds every function's effects bottom-up and derives the
@@ -157,7 +209,77 @@ func aggregate(prog *ast.Program, cg *CallGraph, effects map[string]*FuncEffects
 		}
 	}
 	s.Races = concurrent.FindRaces(accesses)
+	s.SharedAccesses = accesses
+
+	foldAtomicFacts(s, cg.Names, func(name string) ([]AtomicSite, []EffectSite, []RetrySite) {
+		eff := effects[name]
+		return eff.Atomics, eff.Irrev, eff.Retries
+	})
 	return s
+}
+
+// foldAtomicFacts unions the transaction-safety facts of every function into
+// the whole-program view: nested atomic entries, irreversible effects inside
+// atomic regions, and unbounded-retry sites. Instantiation copies a callee's
+// sites into each caller's summary, so the same site reappears across the
+// call chain; the fold deduplicates by site identity and sorts for a
+// deterministic report. Both the cold aggregate and the incremental
+// aggregateStore funnel through here so warm output stays byte-identical.
+func foldAtomicFacts(s *Summaries, names []string,
+	facts func(name string) ([]AtomicSite, []EffectSite, []RetrySite)) {
+
+	seen := map[string]bool{}
+	for _, name := range names {
+		atomics, irrev, retries := facts(name)
+		for _, a := range atomics {
+			if !a.Nested {
+				continue
+			}
+			if k := "n|" + atomicKey(a); !seen[k] {
+				seen[k] = true
+				s.NestedAtomics = append(s.NestedAtomics, a)
+			}
+		}
+		for _, e := range irrev {
+			if !e.Atomic {
+				continue
+			}
+			if k := "e|" + effectKey(e); !seen[k] {
+				seen[k] = true
+				s.AtomicEffects = append(s.AtomicEffects, e)
+			}
+		}
+		for _, r := range retries {
+			if k := "r|" + retryKey(r); !seen[k] {
+				seen[k] = true
+				s.RetryLoops = append(s.RetryLoops, r)
+			}
+		}
+	}
+	sort.Slice(s.NestedAtomics, func(i, j int) bool {
+		a, b := s.NestedAtomics[i], s.NestedAtomics[j]
+		if a.Span.Start != b.Span.Start {
+			return a.Span.Start < b.Span.Start
+		}
+		return a.Fn < b.Fn
+	})
+	sort.Slice(s.AtomicEffects, func(i, j int) bool {
+		a, b := s.AtomicEffects[i], s.AtomicEffects[j]
+		if a.Span.Start != b.Span.Start {
+			return a.Span.Start < b.Span.Start
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Fn < b.Fn
+	})
+	sort.Slice(s.RetryLoops, func(i, j int) bool {
+		a, b := s.RetryLoops[i], s.RetryLoops[j]
+		if a.Span.Start != b.Span.Start {
+			return a.Span.Start < b.Span.Start
+		}
+		return a.Fn < b.Fn
+	})
 }
 
 func sortedEdgeKeys(m map[string]map[string]LockSite) []string {
@@ -170,11 +292,12 @@ func sortedEdgeKeys(m map[string]map[string]LockSite) []string {
 }
 
 type summaryBuilder struct {
-	info    *types.Info
-	cg      *CallGraph
-	pts     *pointsto.Result
-	effects map[string]*FuncEffects
-	shared  map[string]bool
+	info      *types.Info
+	cg        *CallGraph
+	pts       *pointsto.Result
+	effects   map[string]*FuncEffects
+	shared    map[string]bool
+	externals map[string]bool
 }
 
 // newSummaryBuilder prepares a builder over an empty effects set. pts may be
@@ -182,16 +305,20 @@ type summaryBuilder struct {
 // whose SCCs will be recomputed.
 func newSummaryBuilder(info *types.Info, cg *CallGraph, pts *pointsto.Result) *summaryBuilder {
 	sb := &summaryBuilder{
-		info:    info,
-		cg:      cg,
-		pts:     pts,
-		effects: map[string]*FuncEffects{},
-		shared:  map[string]bool{},
+		info:      info,
+		cg:        cg,
+		pts:       pts,
+		effects:   map[string]*FuncEffects{},
+		shared:    map[string]bool{},
+		externals: map[string]bool{},
 	}
 	for name, t := range info.Globals {
 		if types.Prune(t).Kind == types.KStruct {
 			sb.shared[name] = true
 		}
+	}
+	for _, ext := range info.Externals {
+		sb.externals[ext.Name] = true
 	}
 	return sb
 }
@@ -212,7 +339,9 @@ type walkCtx struct {
 	order    []string // real locks held, no duplicates (ordering facts)
 	held     []string // locks held incl. "atomic" and re-acquisitions (locksets)
 	spawned  bool
-	seen     map[string]bool // access dedup keys
+	atomic   bool            // inside an atomic region relative to function entry
+	retry    string          // non-empty: inside a shared-state retry loop on this location
+	seen     map[string]bool // access/site dedup keys
 	eff      *FuncEffects
 }
 
@@ -258,20 +387,51 @@ func (sb *summaryBuilder) walk(e ast.Expr, ctx *walkCtx) {
 	case *ast.Atomic:
 		// STM serialises with every other atomic block: model as a single
 		// pseudo-lock "atomic" in locksets, invisible to lock ordering.
+		sb.addAtomic(ctx, AtomicSite{Span: e.Span(), Fn: ctx.fn, Nested: ctx.atomic})
+		if ctx.retry != "" {
+			sb.addRetry(ctx, RetrySite{Span: e.Span(), Fn: ctx.fn, Cond: ctx.retry})
+		}
 		inner := *ctx
 		inner.held = append(append([]string{}, ctx.held...), "atomic")
+		inner.atomic = true
+		for _, b := range e.Body {
+			sb.walk(b, &inner)
+		}
+
+	case *ast.While:
+		// A loop whose condition re-reads shared state and whose body enters
+		// an atomic region is an application-level retry loop without a
+		// budget: the STM already retries internally, and the outer loop
+		// re-runs the whole transaction until the shared state cooperates.
+		sb.walk(e.Cond, ctx)
+		for _, inv := range e.Invariants {
+			sb.walk(inv, ctx)
+		}
+		inner := *ctx
+		if loc := sb.sharedCondLoc(e.Cond); loc != "" {
+			inner.retry = loc
+		}
 		for _, b := range e.Body {
 			sb.walk(b, &inner)
 		}
 
 	case *ast.Spawn:
-		// A spawned thread starts with an empty lockset; direct accesses in
-		// the spawn expression are attributed to a synthetic $spawn frame.
+		// A spawned thread starts with an empty lockset and outside any
+		// transaction of the parent; direct accesses in the spawn expression
+		// are attributed to a synthetic $spawn frame. Spawning *inside* an
+		// atomic region is itself an irreversible effect (the VM traps).
+		if ctx.atomic {
+			sb.addIrrev(ctx, EffectSite{
+				Kind: "spawn", Name: "spawn", Span: e.Span(), Fn: ctx.fn, Atomic: true,
+			})
+		}
 		inner := *ctx
 		inner.accessFn = ctx.accessFn + "$spawn"
 		inner.order = nil
 		inner.held = nil
 		inner.spawned = true
+		inner.atomic = false
+		inner.retry = ""
 		sb.walk(e.Expr, &inner)
 
 	case *ast.FieldRef:
@@ -288,8 +448,14 @@ func (sb *summaryBuilder) walk(e ast.Expr, ctx *walkCtx) {
 		sb.walk(e.Value, ctx)
 
 	case *ast.Call:
-		if v, ok := e.Fn.(*ast.VarRef); ok && sb.cg.Funcs[v.Name] != nil {
-			sb.instantiate(ctx, v.Name)
+		if v, ok := e.Fn.(*ast.VarRef); ok {
+			if sb.cg.Funcs[v.Name] != nil {
+				sb.instantiate(ctx, v.Name)
+			} else if kind := sb.effectKind(v.Name); kind != "" {
+				sb.addIrrev(ctx, EffectSite{
+					Kind: kind, Name: v.Name, Span: e.Span(), Fn: ctx.fn, Atomic: ctx.atomic,
+				})
+			}
 		}
 		for _, arg := range e.Args {
 			sb.walk(arg, ctx)
@@ -343,6 +509,29 @@ func (sb *summaryBuilder) instantiate(ctx *walkCtx, callee string) {
 		}
 		sb.append(ctx, ac)
 	}
+	// The callee's atomic entries and irreversible effects happen under the
+	// caller's transactional context: an atomic entered from inside an open
+	// atomic nests, and an effect inside-or-below an atomic caller cannot be
+	// rolled back. A callee that enters an atomic region turns a caller's
+	// shared-state retry loop into an unbounded transaction-retry loop.
+	for _, a := range ce.Atomics {
+		if ctx.atomic {
+			a.Nested = true
+		}
+		if ctx.retry != "" {
+			sb.addRetry(ctx, RetrySite{Span: a.Span, Fn: a.Fn, Cond: ctx.retry})
+		}
+		sb.addAtomic(ctx, a)
+	}
+	for _, ef := range ce.Irrev {
+		if ctx.atomic {
+			ef.Atomic = true
+		}
+		sb.addIrrev(ctx, ef)
+	}
+	for _, r := range ce.Retries {
+		sb.addRetry(ctx, r)
+	}
 }
 
 func (sb *summaryBuilder) record(ctx *walkCtx, global, field string, write bool, span source.Span) {
@@ -361,6 +550,82 @@ func (sb *summaryBuilder) append(ctx *walkCtx, ac concurrent.Access) {
 	}
 	ctx.seen[k] = true
 	ctx.eff.Accesses = append(ctx.eff.Accesses, ac)
+}
+
+func (sb *summaryBuilder) addAtomic(ctx *walkCtx, s AtomicSite) {
+	k := "at|" + atomicKey(s)
+	if ctx.seen[k] {
+		return
+	}
+	ctx.seen[k] = true
+	ctx.eff.Atomics = append(ctx.eff.Atomics, s)
+}
+
+func (sb *summaryBuilder) addIrrev(ctx *walkCtx, s EffectSite) {
+	k := "ef|" + effectKey(s)
+	if ctx.seen[k] {
+		return
+	}
+	ctx.seen[k] = true
+	ctx.eff.Irrev = append(ctx.eff.Irrev, s)
+}
+
+func (sb *summaryBuilder) addRetry(ctx *walkCtx, s RetrySite) {
+	k := "rt|" + retryKey(s)
+	if ctx.seen[k] {
+		return
+	}
+	ctx.seen[k] = true
+	ctx.eff.Retries = append(ctx.eff.Retries, s)
+}
+
+// effectKind classifies a call head that is not a defined function as an
+// irreversible effect: an extern crosses the FFI (foreign side effects
+// survive a rollback), print/println emit observable output, and channel
+// operations either publish to another thread or trap outright inside an
+// atomic region.
+func (sb *summaryBuilder) effectKind(name string) string {
+	switch {
+	case sb.externals[name]:
+		return "extern"
+	case name == "print" || name == "println":
+		return "io"
+	case name == "send":
+		return "send"
+	case name == "recv":
+		return "recv"
+	case name == "join":
+		return "join"
+	}
+	return ""
+}
+
+// sharedCondLoc names the first shared-global field a loop condition reads,
+// or "" when the condition touches no shared state (a local counter — the
+// bounded, benign loop shape).
+func (sb *summaryBuilder) sharedCondLoc(cond ast.Expr) string {
+	loc := ""
+	var visit func(e ast.Expr)
+	visit = func(e ast.Expr) {
+		if loc != "" {
+			return
+		}
+		if fr, ok := e.(*ast.FieldRef); ok {
+			if gs := sb.sharedTargets(fr.Expr); len(gs) > 0 {
+				loc = gs[0] + "." + fr.Name
+				return
+			}
+		}
+		ast.Walk(e, func(sub ast.Expr) bool {
+			if sub == e {
+				return true
+			}
+			visit(sub)
+			return false
+		})
+	}
+	visit(cond)
+	return loc
 }
 
 // sharedTargets names the shared globals a field access on base may touch.
@@ -420,6 +685,26 @@ func accessKey(ac concurrent.Access) string {
 	return b.String()
 }
 
+func atomicKey(s AtomicSite) string {
+	k := strconv.Itoa(int(s.Span.Start)) + "|" + s.Fn
+	if s.Nested {
+		k += "|n"
+	}
+	return k
+}
+
+func effectKey(s EffectSite) string {
+	k := s.Kind + "|" + s.Name + "|" + strconv.Itoa(int(s.Span.Start)) + "|" + s.Fn
+	if s.Atomic {
+		k += "|a"
+	}
+	return k
+}
+
+func retryKey(s RetrySite) string {
+	return strconv.Itoa(int(s.Span.Start)) + "|" + s.Fn + "|" + s.Cond
+}
+
 func mergeLocksets(a, b []string) []string {
 	out := append(append([]string{}, a...), b...)
 	sort.Strings(out)
@@ -465,7 +750,9 @@ func sortedKeys(m map[string]LockSite) []string {
 
 func equalEffects(a, b *FuncEffects) bool {
 	if len(a.Acquires) != len(b.Acquires) || len(a.Self) != len(b.Self) ||
-		len(a.Edges) != len(b.Edges) || len(a.Accesses) != len(b.Accesses) {
+		len(a.Edges) != len(b.Edges) || len(a.Accesses) != len(b.Accesses) ||
+		len(a.Atomics) != len(b.Atomics) || len(a.Irrev) != len(b.Irrev) ||
+		len(a.Retries) != len(b.Retries) {
 		return false
 	}
 	for k := range a.Acquires {
@@ -495,6 +782,31 @@ func equalEffects(a, b *FuncEffects) bool {
 	}
 	for _, ac := range a.Accesses {
 		if !bk[accessKey(ac)] {
+			return false
+		}
+	}
+	sk := map[string]bool{}
+	for _, s := range b.Atomics {
+		sk["at|"+atomicKey(s)] = true
+	}
+	for _, s := range b.Irrev {
+		sk["ef|"+effectKey(s)] = true
+	}
+	for _, s := range b.Retries {
+		sk["rt|"+retryKey(s)] = true
+	}
+	for _, s := range a.Atomics {
+		if !sk["at|"+atomicKey(s)] {
+			return false
+		}
+	}
+	for _, s := range a.Irrev {
+		if !sk["ef|"+effectKey(s)] {
+			return false
+		}
+	}
+	for _, s := range a.Retries {
+		if !sk["rt|"+retryKey(s)] {
 			return false
 		}
 	}

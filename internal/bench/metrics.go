@@ -220,8 +220,83 @@ func metricsAnalyze(p Params, deterministic bool) (*obs.MetricsDoc, error) {
 	if err := run("warm-one-edit", eprog); err != nil {
 		return nil, err
 	}
+
+	// Transaction-safety tier: the atomicity pass (BITC-ATOM001..004) over
+	// a fixture firing all four codes — the synthetic corpus has no atomic
+	// regions, so this is the row where a summary regression in the atomic
+	// fact kinds (sites, irreversible effects, retry loops, lock edges)
+	// shows up as a findings or miss-count change.
+	aprog, err := core.LoadAnalysis("atomicity.bitc", atomicitySrc)
+	if err != nil {
+		return nil, fmt.Errorf("ANALYZE atomicity fixture: %w", err)
+	}
+	astore := factstore.New()
+	runAtom := func(mode string) error {
+		before := astore.Stats()
+		start := time.Now()
+		rep, aerr := aprog.AnalyzeWithStore(analysis.Options{Enable: []string{"atomicity"}}, astore)
+		if aerr != nil {
+			return fmt.Errorf("ANALYZE/atomicity-%s: %w", mode, aerr)
+		}
+		wall := time.Since(start).Nanoseconds()
+		if deterministic {
+			wall = 0
+		}
+		after := astore.Stats()
+		doc.Rows = append(doc.Rows, obs.Metrics{
+			Workload:   "atomicity",
+			Mode:       mode,
+			N:          int64(len(rep.Findings)),
+			AnalysisNS: wall,
+			Derived: map[string]float64{
+				"findings":    float64(len(rep.Findings)),
+				"cacheHits":   float64(after.Hits - before.Hits),
+				"cacheMisses": float64(after.Misses - before.Misses),
+			},
+		})
+		return nil
+	}
+	if err := runAtom("cold"); err != nil {
+		return nil, err
+	}
+	if err := runAtom("warm"); err != nil {
+		return nil, err
+	}
 	return doc, nil
 }
+
+// atomicitySrc trips all four BITC-ATOM codes: a bare write to an
+// atomically managed location, an extern reachable inside a transaction, a
+// descending shard-lock acquisition, a nested atomic, and an unbounded
+// retry loop over shared state.
+const atomicitySrc = `
+(defstruct cell (v int64))
+(define counter cell (make cell :v 0))
+(external ping (-> (int64) int64) "ping")
+(define (txn) unit
+  (atomic (set-field! counter v (+ (field counter v) 1))))
+(define (bare) unit
+  (set-field! counter v 3))
+(define (effectful) unit
+  (atomic
+    (set-field! counter v 1)
+    (ping 1)
+    ()))
+(define (nested) unit
+  (atomic (txn)))
+(define (spin) unit
+  (while (> (field counter v) 0) (txn)))
+(define (move) unit
+  (with-lock shard1 (with-lock shard0 (set-field! counter v 2))))
+(define (main) unit
+  (let ((t (spawn (txn))))
+    (bare)
+    (join t)
+    (effectful)
+    (nested)
+    (spin)
+    (move)))
+`
 
 // metricsE8 exports the shared-state experiment (challenge 4): the bank
 // transfer workload under no synchronisation, a coarse lock, and STM, with

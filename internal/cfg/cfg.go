@@ -47,6 +47,11 @@ const (
 	// the unique (alpha-renamed) region name.
 	OpRegionEnter
 	OpRegionExit
+	// OpAtomicBegin and OpAtomicEnd bracket an atomic (STM transaction)
+	// body: everything between them executes transactionally and may be
+	// rolled back and re-run when the commit at OpAtomicEnd fails.
+	OpAtomicBegin
+	OpAtomicEnd
 )
 
 // String names the atom kind for diagnostics and CFG dumps.
@@ -72,6 +77,10 @@ func (o Op) String() string {
 		return "region+"
 	case OpRegionExit:
 		return "region-"
+	case OpAtomicBegin:
+		return "atomic+"
+	case OpAtomicEnd:
+		return "atomic-"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }
@@ -486,9 +495,11 @@ func (b *builder) expr(e ast.Expr) {
 		b.emit(Atom{Op: OpLockRel, Expr: e, Name: e.Lock})
 
 	case *ast.Atomic:
+		b.emit(Atom{Op: OpAtomicBegin, Expr: e})
 		for _, s := range e.Body {
 			b.expr(s)
 		}
+		b.emit(Atom{Op: OpAtomicEnd, Expr: e})
 		b.emit(Atom{Op: OpEval, Expr: e})
 
 	case *ast.WithRegion:

@@ -25,8 +25,8 @@ func TestAnalyzeGolden(t *testing.T) {
 	}
 	inputs = append(inputs, progs...)
 	pinned, err := filepath.Glob("testdata/analyze/*.bitc")
-	if err != nil || len(pinned) != 6 {
-		t.Fatalf("want the 6 pinned example programs, got %d (%v)", len(pinned), err)
+	if err != nil || len(pinned) != 10 {
+		t.Fatalf("want the 10 pinned example programs, got %d (%v)", len(pinned), err)
 	}
 	inputs = append(inputs, pinned...)
 

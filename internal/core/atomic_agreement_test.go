@@ -1,0 +1,152 @@
+package core_test
+
+import (
+	"os"
+	"testing"
+
+	"bitc/internal/analysis"
+	"bitc/internal/core"
+	"bitc/internal/vm"
+)
+
+// loadExample loads a pinned analyze example and asserts the atomicity
+// analyzer reports `code` on it — without that the dynamic half of an
+// agreement test below would be vacuous.
+func loadExample(t *testing.T, path, code string) *core.Program {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.Load(path, string(src), core.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := prog.Analyze(analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		if f.Code == code {
+			return prog
+		}
+	}
+	t.Fatalf("%s is not flagged with %s; the agreement test is vacuous", path, code)
+	return nil
+}
+
+// TestAtomSharedStaticDynamicAgreement checks BITC-ATOM001's promise: the
+// flagged bare read-modify-write in atomshared.bitc really loses updates
+// against the concurrent atomic incrementer under the deterministic VM
+// scheduler, and the all-atomic twin of the same program conserves every
+// increment. The lost update is exactly the failure mode the finding
+// message describes — an atomic commit landing between the bare read and
+// the bare write is silently overwritten.
+func TestAtomSharedStaticDynamicAgreement(t *testing.T) {
+	prog := loadExample(t, "testdata/analyze/atomshared.bitc", analysis.CodeAtomShared)
+
+	const k = 200
+	val, _, err := prog.RunFunc("entry", vm.IntValue(k))
+	if err != nil {
+		t.Fatalf("flagged program failed to run: %v", err)
+	}
+	if val.I >= 2*k {
+		t.Fatalf("flagged program conserved all updates (%d of %d): the ATOM001 finding does not correspond to a dynamic lost update", val.I, 2*k)
+	}
+
+	// The twin guards the second thread's read-modify-write with atomic
+	// too; same schedule, no lost updates.
+	twin := `
+(defstruct stats (hits int64))
+(define tally stats (make stats :hits 0))
+(define (bump-atomic (k int64)) unit
+  (dotimes (i k)
+    (atomic
+      (set-field! tally hits (+ (field tally hits) 1)))))
+(define (bump-txn (k int64)) unit
+  (dotimes (i k)
+    (atomic
+      (let ((x (field tally hits)))
+        (yield)
+        (set-field! tally hits (+ x 1))))))
+(define (entry (k int64)) int64
+  (let ((t (spawn (bump-atomic k))))
+    (bump-txn k)
+    (join t)
+    (field tally hits)))`
+	tp, err := core.Load("atomshared-twin", twin, core.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tp.Analyze(analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		if f.Code == analysis.CodeAtomShared {
+			t.Fatalf("all-atomic twin is still flagged with %s at %v", f.Code, f.Span)
+		}
+	}
+	tval, _, err := tp.RunFunc("entry", vm.IntValue(k))
+	if err != nil {
+		t.Fatalf("twin failed to run: %v", err)
+	}
+	if tval.I != 2*k {
+		t.Fatalf("all-atomic twin lost updates: got %d, want %d", tval.I, 2*k)
+	}
+}
+
+// TestAtomEffectStaticDynamicAgreement checks BITC-ATOM002's promise: the
+// flagged extern call inside the transaction in atomextern.bitc observably
+// double-executes when the STM is forced to retry once
+// (vm.ForceAtomicRetries — the same rollback path a real conflict takes),
+// while the twin with the call hoisted after the transaction logs exactly
+// once no matter how many retries the transaction body suffers.
+func TestAtomEffectStaticDynamicAgreement(t *testing.T) {
+	prog := loadExample(t, "testdata/analyze/atomextern.bitc", analysis.CodeAtomEffect)
+
+	run := func(p *core.Program) int {
+		t.Helper()
+		calls := 0
+		machine := p.NewVM()
+		machine.Externs["audit"] = func(args []int64) int64 { calls++; return args[0] }
+		machine.ForceAtomicRetries(1)
+		if _, err := machine.RunFunc("entry", vm.IntValue(7)); err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		return calls
+	}
+
+	if calls := run(prog); calls != 2 {
+		t.Fatalf("flagged extern executed %d times under one forced retry, want 2 (one per attempt)", calls)
+	}
+
+	twin := `
+(defstruct account (bal int64))
+(define acct account (make account :bal 100))
+(external audit (-> (int64) int64) "audit")
+(define (deposit (n int64)) unit
+  (atomic
+    (set-field! acct bal (+ (field acct bal) n)))
+  (audit n)
+  ())
+(define (entry (n int64)) int64
+  (deposit n)
+  (field acct bal))`
+	tp, err := core.Load("atomextern-twin", twin, core.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tp.Analyze(analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		if f.Code == analysis.CodeAtomEffect {
+			t.Fatalf("hoisted twin is still flagged with %s at %v", f.Code, f.Span)
+		}
+	}
+	if calls := run(tp); calls != 1 {
+		t.Fatalf("hoisted extern executed %d times under one forced retry, want exactly 1", calls)
+	}
+}

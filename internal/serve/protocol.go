@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ProtocolModel renders the 2PC coordinator's prepare sequences as a bitc
+// program: one transfer function per directed shard pair, each preparing its
+// two participants as nested with-lock regions named after the shards
+// (shard0, shard1, …), in exactly the order attempt uses — both funnel
+// through prepareOrder, so the model cannot drift from the implementation.
+//
+// Running `bitc analyze` over this model (scripts/check.sh does, via
+// `bitc serve -emit-program twopc`) is the static proof of the
+// ascending-shard-index discipline: the atomicity analyzer turns every
+// nested acquisition into a lock-order edge and flags any descending pair
+// within the shard family as BITC-ATOM003, and the deadlock analyzer flags
+// any cycle as BITC-DLOCK001. A change that breaks prepareOrder breaks the
+// model the same way and fails the gate.
+func ProtocolModel(shards int) string {
+	if shards < 2 {
+		shards = 2
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; generated 2PC prepare-order model: %d shards -- do not edit\n", shards)
+	b.WriteString("; one function per directed shard pair; nested with-lock = prepare order\n")
+	b.WriteString("(defstruct book (bal int64))\n")
+	for i := 0; i < shards; i++ {
+		fmt.Fprintf(&b, "(define ledger%d book (make book :bal 0))\n", i)
+	}
+	var calls []string
+	for from := 0; from < shards; from++ {
+		for to := 0; to < shards; to++ {
+			if from == to {
+				continue
+			}
+			first, second := prepareOrder(from, to)
+			fmt.Fprintf(&b, "\n(define (xfer-%d-%d (amt int64)) unit\n", from, to)
+			fmt.Fprintf(&b, "  (with-lock shard%d\n", first)
+			fmt.Fprintf(&b, "    (with-lock shard%d\n", second)
+			fmt.Fprintf(&b, "      (set-field! ledger%d bal (- (field ledger%d bal) amt))\n", from, from)
+			fmt.Fprintf(&b, "      (set-field! ledger%d bal (+ (field ledger%d bal) amt)))))\n", to, to)
+			calls = append(calls, fmt.Sprintf("  (xfer-%d-%d 1)", from, to))
+		}
+	}
+	b.WriteString("\n(define (main) unit\n")
+	b.WriteString(strings.Join(calls, "\n"))
+	b.WriteString(")\n")
+	return b.String()
+}
+
+// EmitProgram returns the bitc source of one of the service's generated
+// programs: "shard" is the per-shard STM batch program every shard VM runs,
+// "twopc" is the coordinator's prepare-order protocol model. scripts/check.sh
+// runs `bitc analyze` over both, so the service's own bitc code is gated by
+// the transaction-safety checkers (BITC-ATOM001..004).
+func EmitProgram(kind string, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	switch kind {
+	case "shard":
+		shards := int64(opts.Shards)
+		return shardProgram((opts.Users + shards - 1) / shards), nil
+	case "twopc":
+		return ProtocolModel(opts.Shards), nil
+	}
+	return "", fmt.Errorf("serve: unknown program %q (have shard, twopc)", kind)
+}

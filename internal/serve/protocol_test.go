@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bitc/internal/core"
+)
+
+func TestPrepareOrderAscending(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			a, b := prepareOrder(i, j)
+			if a > b {
+				t.Fatalf("prepareOrder(%d, %d) = (%d, %d): not ascending", i, j, a, b)
+			}
+			if (a != i || b != j) && (a != j || b != i) {
+				t.Fatalf("prepareOrder(%d, %d) = (%d, %d): not a permutation", i, j, a, b)
+			}
+		}
+	}
+}
+
+// TestProtocolModelLoads type-checks the generated prepare-order model: it
+// must stay a valid bitc program or the scripts/check.sh analyze gate is
+// vacuous.
+func TestProtocolModelLoads(t *testing.T) {
+	src := ProtocolModel(4)
+	if _, err := core.Load("twopc-model", src, core.DefaultConfig); err != nil {
+		t.Fatalf("generated protocol model does not load: %v\n%s", err, src)
+	}
+}
+
+// TestProtocolModelMatchesPrepareOrder checks the rendered lock nesting in
+// every transfer function against prepareOrder itself — the model and the
+// coordinator must agree on the acquisition order for the static ATOM003
+// check to prove anything about the implementation.
+func TestProtocolModelMatchesPrepareOrder(t *testing.T) {
+	const shards = 5
+	src := ProtocolModel(shards)
+	for from := 0; from < shards; from++ {
+		for to := 0; to < shards; to++ {
+			if from == to {
+				continue
+			}
+			first, second := prepareOrder(from, to)
+			want := fmt.Sprintf("(with-lock shard%d\n    (with-lock shard%d", first, second)
+			fn := fmt.Sprintf("(define (xfer-%d-%d ", from, to)
+			i := strings.Index(src, fn)
+			if i < 0 {
+				t.Fatalf("model is missing %s", fn)
+			}
+			body := src[i:]
+			if j := strings.Index(body, "\n(define "); j > 0 {
+				body = body[:j]
+			}
+			if !strings.Contains(body, want) {
+				t.Errorf("xfer-%d-%d does not prepare in prepareOrder order (%d before %d):\n%s",
+					from, to, first, second, body)
+			}
+		}
+	}
+}
+
+func TestEmitProgram(t *testing.T) {
+	if _, err := EmitProgram("nope", Options{}); err == nil {
+		t.Fatal("EmitProgram accepted an unknown kind")
+	}
+	for _, kind := range []string{"shard", "twopc"} {
+		src, err := EmitProgram(kind, Options{Shards: 3, Users: 100})
+		if err != nil {
+			t.Fatalf("EmitProgram(%q): %v", kind, err)
+		}
+		if _, err := core.Load(kind, src, core.DefaultConfig); err != nil {
+			t.Fatalf("EmitProgram(%q) output does not load: %v", kind, err)
+		}
+	}
+}

@@ -80,6 +80,26 @@ func (sv *Service) runCross(round int) {
 	wg.Wait()
 }
 
+// prepareOrder returns two shard ids in the order a coordinator prepares
+// them: ascending. This single function IS the deadlock-freedom discipline —
+// attempt acquires through it, and the generated protocol model
+// (ProtocolModel) renders its decisions as nested lock regions, so the
+// static BITC-ATOM003 check in scripts/check.sh gates exactly the order the
+// coordinator executes and cannot drift from it.
+func prepareOrder(i, j int) (int, int) {
+	if j < i {
+		return j, i
+	}
+	return i, j
+}
+
+// participant is one shard-local half of a cross-shard transfer.
+type participant struct {
+	s     *shard
+	local int64 // account index local to the shard
+	delta int64
+}
+
 // attempt runs one 2PC round-trip for x: prepare both participants in
 // ascending shard order, then commit both or abort and reschedule.
 func (sv *Service) attempt(x *crossTxn, round int) {
@@ -87,14 +107,14 @@ func (sv *Service) attempt(x *crossTxn, round int) {
 	from, to := sv.shards[x.t.From%shards], sv.shards[x.t.To%shards]
 	fi, ti := x.t.From/shards, x.t.To/shards
 
-	first, second := from, to
-	firstDelta, secondDelta := -x.t.Amount, x.t.Amount
-	firstIdx, secondIdx := fi, ti
-	if second.id < first.id {
-		first, second = second, first
-		firstDelta, secondDelta = secondDelta, firstDelta
-		firstIdx, secondIdx = secondIdx, firstIdx
+	a := participant{s: from, local: fi, delta: -x.t.Amount}
+	b := participant{s: to, local: ti, delta: x.t.Amount}
+	if f, _ := prepareOrder(from.id, to.id); f != from.id {
+		a, b = b, a
 	}
+	first, second := a.s, b.s
+	firstIdx, secondIdx := a.local, b.local
+	firstDelta, secondDelta := a.delta, b.delta
 
 	tx1 := first.prepare(firstIdx, firstDelta)
 	if tx1 == nil {

@@ -39,6 +39,14 @@ func (v *VM) atomicBegin(t *Thread, fr *Frame) error {
 	return nil
 }
 
+// ForceAtomicRetries makes the next n top-level atomic commits abort and
+// retry as if their read sets had been invalidated. It exists for the
+// static/dynamic agreement tests: a program the atomicity analyzer flags for
+// an irreversible effect inside an atomic region (BITC-ATOM002) must
+// observably re-execute that effect under a forced retry, while its fixed
+// twin — the effect hoisted out of the transaction — must not.
+func (v *VM) ForceAtomicRetries(n int) { v.forceRetries = n }
+
 func (v *VM) atomicEnd(t *Thread) error {
 	tx := t.txn
 	if tx == nil {
@@ -47,6 +55,11 @@ func (v *VM) atomicEnd(t *Thread) error {
 	tx.depth--
 	if tx.depth > 0 {
 		return nil
+	}
+	// Test hook: simulate a conflicting commit without a second thread.
+	if v.forceRetries > 0 {
+		v.forceRetries--
+		return v.atomicRetry(t)
 	}
 	// A host-prepared object in the write set forces a retry: a prepared
 	// two-phase transaction has already validated against current versions,

@@ -298,3 +298,42 @@ func TestAtomicRetriesOverPreparedObject(t *testing.T) {
 		t.Fatalf("post-release touch = %d, want 1101", val.I)
 	}
 }
+
+// TestForceAtomicRetries pins the agreement-test hook: each budgeted forced
+// retry rolls the transaction back through the normal atomicRetry path (the
+// write set is discarded, the body re-runs), the commit that finally lands
+// applies exactly once, and the budget is consumed — a second run of the
+// same VM does not retry again.
+func TestForceAtomicRetries(t *testing.T) {
+	src := `
+(defstruct cell (v int64))
+(define c cell (make cell :v 0))
+
+(define (entry (n int64)) int64
+  (atomic
+    (set-field! c v (+ (field c v) n)))
+  (field c v))`
+	mod := stmLoad(t, src)
+	v := New(mod, Options{Seed: 1})
+	v.ForceAtomicRetries(3)
+	val, err := v.RunFunc("entry", IntValue(5))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if val.I != 5 {
+		t.Fatalf("forced retries leaked writes: final value %d, want 5", val.I)
+	}
+	if v.Stats.TxAborts != 3 {
+		t.Fatalf("aborts = %d, want 3 (one per budgeted retry)", v.Stats.TxAborts)
+	}
+	if v.Stats.TxCommits != 1 {
+		t.Fatalf("commits = %d, want exactly 1", v.Stats.TxCommits)
+	}
+	// Budget spent: the same VM commits first try now.
+	if _, err := v.RunFunc("entry", IntValue(1)); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if v.Stats.TxAborts != 3 {
+		t.Fatalf("aborts grew to %d after the budget was spent", v.Stats.TxAborts)
+	}
+}

@@ -166,6 +166,10 @@ type VM struct {
 	// externShadow is the per-VM FFI transition scratch buffer (see the
 	// comment above transitionPasses in exec.go).
 	externShadow [64]uint64
+
+	// forceRetries makes the next n top-level atomic commits retry; see
+	// ForceAtomicRetries (agreement-test hook, normally 0).
+	forceRetries int
 }
 
 // New creates a VM for mod.

@@ -72,6 +72,27 @@ fi
 # registry one-to-one (see scripts/docs-check.sh).
 BITC_BIN=/tmp/bitc-check sh scripts/docs-check.sh
 
+# Transaction-safety self-gate: the service's own generated bitc programs
+# (the per-shard STM batch program and the 2PC prepare-order model rendered
+# from the coordinator's prepareOrder) plus the bankstm example must carry
+# zero atomicity findings — the BITC-ATOM checkers gate the very code they
+# were built to protect, and a prepare-order regression in
+# internal/serve/twopc.go fails here as BITC-ATOM003.
+for kind in shard twopc; do
+    /tmp/bitc-check serve -emit-program "$kind" > "/tmp/bitc-serve-$kind.bitc"
+done
+for f in /tmp/bitc-serve-shard.bitc /tmp/bitc-serve-twopc.bitc examples/bankstm/bankstm.bitc; do
+    out=$(/tmp/bitc-check analyze "$f") || {
+        echo "$f: error-severity findings in service code"
+        printf '%s\n' "$out"; exit 1; }
+    if printf '%s\n' "$out" | grep -q 'BITC-ATOM'; then
+        echo "$f: atomicity findings in service code:"
+        printf '%s\n' "$out"; exit 1
+    fi
+    echo "analyze $f: no atomicity findings"
+done
+rm -f /tmp/bitc-serve-shard.bitc /tmp/bitc-serve-twopc.bitc
+
 # Serving smoke gate (~2s): 10k transactions across 4 shards with
 # cross-shard 2PC transfers; `bitc serve` exits non-zero unless the
 # conservation-of-balance invariant holds at shutdown (see docs/serve.md).
