@@ -5,7 +5,8 @@
 //
 //	bitc check <file>            type-check only
 //	bitc run [-boxed] [-contracts] [-seed N] [-profile cpu|alloc]
-//	         [-trace out.json] [-top N] [-deterministic] <file>
+//	         [-dispatch fused|specialized|switch] [-trace out.json]
+//	         [-top N] [-deterministic] <file>
 //	                             compile and execute main; optionally collect
 //	                             a profile and/or a Perfetto-loadable trace
 //	bitc top [-profile cpu|alloc] [-top N] <file>
@@ -34,6 +35,9 @@
 //	                             -emit-program prints a generated bitc
 //	                             program (for self-analysis) and exits.
 //	bitc dump-ir <file>          print the optimised IR
+//	bitc disasm [-dispatch M] [-func NAME] <file>
+//	                             print the decoded/fused dispatch listing
+//	                             (see docs/vm.md) for one function or all
 //	bitc dump-layout <file>      print struct layouts (packed/natural/boxed)
 //	bitc fmt <file>              print the normalised program
 //
@@ -81,7 +85,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: bitc <check|run|top|verify|analyze|analyzers|serve|dump-ir|dump-layout|fmt|repl> [flags] <file>\n(try `bitc analyze -h` for the static-analysis suite and its lint codes)")
+		return fmt.Errorf("usage: bitc <check|run|top|verify|analyze|analyzers|serve|dump-ir|disasm|dump-layout|fmt|repl> [flags] <file>\n(try `bitc analyze -h` for the static-analysis suite and its lint codes)")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -99,6 +103,8 @@ func run(args []string) error {
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	boxed := fs.Bool("boxed", false, "execute under the uniform boxed representation")
+	dispatch := fs.String("dispatch", "fused", "interpreter dispatch strategy (fused|specialized|switch)")
+	disasmFunc := fs.String("func", "", "disasm: function to list (default: all)")
 	contracts := fs.Bool("contracts", false, "compile contracts into runtime checks")
 	seed := fs.Uint64("seed", 0, "deterministic scheduler seed")
 	quantum := fs.Int("quantum", 0, "instructions between preemption points (0 = VM default, 64)")
@@ -196,6 +202,16 @@ func run(args []string) error {
 	if *boxed {
 		cfg.Mode = vm.Boxed
 	}
+	switch *dispatch {
+	case "fused":
+		cfg.Dispatch = vm.DispatchFused
+	case "specialized":
+		cfg.Dispatch = vm.DispatchSpecialized
+	case "switch":
+		cfg.Dispatch = vm.DispatchSwitch
+	default:
+		return fmt.Errorf("unknown -dispatch %q (want fused, specialized, or switch)", *dispatch)
+	}
 
 	dim, err := parseProfile(*profile)
 	if err != nil {
@@ -228,8 +244,8 @@ func run(args []string) error {
 		}
 		fmt.Printf("=> %s\n", val.String())
 		s := machine.Stats
-		fmt.Printf("[%s] instrs=%d calls=%d allocs=%d heap=%dB boxes=%d switches=%d\n",
-			machine.Mode(), s.Instrs, s.Calls, s.Allocs, s.HeapBytes, s.BoxAllocs, s.Switches)
+		fmt.Printf("[%s] instrs=%d calls=%d allocs=%d heap=%dB boxes=%d switches=%d ic=%d/%d\n",
+			machine.Mode(), s.Instrs, s.Calls, s.Allocs, s.HeapBytes, s.BoxAllocs, s.Switches, s.ICHits, s.ICMisses)
 		return finishObs(rec, dim, *profile != "", *tracePath, *topN)
 
 	case "top":
@@ -260,6 +276,27 @@ func run(args []string) error {
 
 	case "dump-ir":
 		fmt.Print(prog.DumpIR())
+		return nil
+
+	case "disasm":
+		machine := prog.NewVM()
+		names := []string{*disasmFunc}
+		if *disasmFunc == "" {
+			names = names[:0]
+			for _, f := range prog.Module.Funcs {
+				names = append(names, f.Name)
+			}
+		}
+		for i, name := range names {
+			listing, derr := machine.DisasmFunc(name)
+			if derr != nil {
+				return derr
+			}
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(listing)
+		}
 		return nil
 
 	case "dump-layout":

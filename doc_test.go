@@ -22,6 +22,7 @@ var documentedPackages = []string{
 	"internal/cfg",
 	"internal/core",
 	"internal/dataflow",
+	"internal/ir",
 	"internal/obs",
 	"internal/serve",
 	"internal/serve/load",

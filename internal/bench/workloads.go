@@ -55,6 +55,30 @@ const srcSort = `
     (vector-ref v (- n 1))))
 `
 
+// KernelSource returns the bitc source of a named E1 kernel ("fib",
+// "vector-sum", "struct-walk", "insertion-sort"). Tests outside the package
+// use it to pin dispatch listings and run differential executions against
+// the exact programs the benchmarks measure; each kernel's entry function
+// is `entry`, taking the problem size.
+func KernelSource(name string) (string, bool) {
+	for _, w := range workloads() {
+		if w.name == name {
+			return w.src, true
+		}
+	}
+	return "", false
+}
+
+// KernelNames lists the E1 kernels in benchmark order.
+func KernelNames() []string {
+	ws := workloads()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.name
+	}
+	return names
+}
+
 // workload pairs a name with source and a size per scale unit.
 type workload struct {
 	name string

@@ -36,6 +36,9 @@ type Config struct {
 
 	// Mode selects the VM value representation (default Unboxed).
 	Mode vm.RepMode
+	// Dispatch selects the interpreter dispatch strategy (default
+	// DispatchFused: specialized handlers with superinstruction fusion).
+	Dispatch vm.DispatchMode
 	// RespectNoBox honours unboxing annotations in Boxed mode.
 	RespectNoBox bool
 	// Seed drives the deterministic scheduler.
@@ -114,6 +117,7 @@ func MustLoad(name, src string, cfg Config) *Program {
 func (p *Program) NewVM() *vm.VM {
 	return vm.New(p.Module, vm.Options{
 		Mode:         p.cfg.Mode,
+		Dispatch:     p.cfg.Dispatch,
 		RespectNoBox: p.cfg.RespectNoBox,
 		Seed:         p.cfg.Seed,
 		Quantum:      p.cfg.Quantum,

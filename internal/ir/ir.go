@@ -106,11 +106,56 @@ var opNames = map[Op]string{
 	OpGlobalGet: "globalget",
 }
 
+// String returns the opcode's assembler mnemonic (e.g. "add", "vecref"), or
+// "op(N)" for an out-of-range value.
 func (o Op) String() string {
 	if n, ok := opNames[o]; ok {
 		return n
 	}
 	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// FuseClass classifies an opcode for the VM's superinstruction fuser
+// (internal/vm/fuse.go). It is the stable fusion-eligibility contract
+// between the IR and the decoded-dispatch layer: fusion patterns are
+// expressed over these classes, so adding an opcode forces an explicit
+// fusibility decision here instead of an implicit one inside the VM.
+type FuseClass int
+
+// Fusion classes. Only instructions that cannot block, push or pop a frame,
+// or transfer control may carry a class other than FuseNone: the fuser
+// relies on a fused component either completing or trapping.
+const (
+	// FuseNone never participates in fusion (calls, effects, control,
+	// allocation, concurrency).
+	FuseNone FuseClass = iota
+	// FuseConst materialises a constant into a register (OpConst).
+	FuseConst
+	// FuseArith is pure two-operand arithmetic/logic writing a register
+	// (add/sub/mul/div/mod, bitwise, shifts). Division and modulo may trap
+	// on zero, which fusion preserves.
+	FuseArith
+	// FuseCmp is a pure comparison producing a boolean (eq/ne/lt/le/gt/ge).
+	FuseCmp
+	// FuseLoad reads memory or a register into a register with no side
+	// effect on success (mov, globalget, getfield, vecref); it may trap.
+	FuseLoad
+)
+
+// FuseClass returns o's fusion class.
+func (o Op) FuseClass() FuseClass {
+	switch o {
+	case OpConst:
+		return FuseConst
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpBitAnd, OpBitOr, OpBitXor, OpShl, OpShr:
+		return FuseArith
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return FuseCmp
+	case OpMov, OpGlobalGet, OpGetField, OpVecRef:
+		return FuseLoad
+	default:
+		return FuseNone
+	}
 }
 
 // ConstKind discriminates OpConst payloads.

@@ -32,6 +32,11 @@ type Counters struct {
 	ExternCalls     uint64 `json:"externCalls"`
 	MarshalledBytes uint64 `json:"marshalledBytes"`
 	RegionAllocs    uint64 `json:"regionAllocs"`
+	// ICHits/ICMisses count the VM's inline-cache fast- and slow-path
+	// executions on field and vector access (additive in bitc-metrics/v1;
+	// see internal/vm/icache.go and docs/observability.md).
+	ICHits   uint64 `json:"icHits"`
+	ICMisses uint64 `json:"icMisses"`
 }
 
 // Metrics is one measured run: a workload executed under one configuration.

@@ -64,9 +64,8 @@ func (v *VM) exec(t *Thread, fr *Frame, in *ir.Instr) error {
 		return v.compare(t, fr, in)
 
 	case ir.OpCall:
-		f := v.mod.Funcs[in.Imm]
 		args := v.gatherArgs(fr, in.Args)
-		return v.pushCall(t, f, args, nil, in.Dst)
+		return v.pushCall(t, v.dfuncs[in.Imm], args, nil, in.Dst)
 
 	case ir.OpCallClosure:
 		cl := fr.regs[in.A]
@@ -76,9 +75,8 @@ func (v *VM) exec(t *Thread, fr *Frame, in *ir.Instr) error {
 		if err := v.checkRegion(cl.R); err != nil {
 			return err
 		}
-		f := v.mod.Funcs[cl.R.Fn]
 		args := v.gatherArgs(fr, in.Args)
-		return v.pushCall(t, f, args, cl.R.Elems, in.Dst)
+		return v.pushCall(t, v.dfuncs[cl.R.Fn], args, cl.R.Elems, in.Dst)
 
 	case ir.OpCallExtern:
 		return v.callExtern(fr, in)
@@ -277,7 +275,7 @@ func (v *VM) exec(t *Thread, fr *Frame, in *ir.Instr) error {
 		if cl.K != KRef || cl.R.Kind != OClosure {
 			return trapf("spawn needs a closure")
 		}
-		nt := v.spawnThread(v.mod.Funcs[cl.R.Fn], nil, cl.R.Elems)
+		nt := v.spawnThread(v.dfuncs[cl.R.Fn], nil, cl.R.Elems)
 		if v.obs != nil {
 			v.obs.Spawn(t.ID, nt.ID, v.mod.Funcs[cl.R.Fn].Name)
 		}
@@ -297,7 +295,10 @@ func (v *VM) exec(t *Thread, fr *Frame, in *ir.Instr) error {
 		return v.lockRelease(t, in.Str)
 
 	default:
-		return trapf("unimplemented opcode %s", in.Op)
+		// fr.ip already advanced past this instruction; report the index it
+		// was fetched from so the trap pinpoints the decoded slot.
+		return trapf("unimplemented opcode %s in %s at b%d:%d",
+			in.Op, fr.fn.fn.Name, fr.block, fr.ip-1)
 	}
 }
 

@@ -1,0 +1,139 @@
+package vm
+
+// icache.go: monomorphic inline caches on field and vector access. Each
+// OpGetField/OpSetField/OpVecRef/OpVecSet site owns one icache, filled the
+// first time the slow path succeeds on a cacheable object and consulted on
+// every later execution. A hit skips the operand kind check, the region
+// liveness check, and (for vectors) re-deriving the bounds; a miss falls
+// back to the legacy switch in exec.go, which re-fills the cache. Hits and
+// misses are counted in Stats.ICHits/ICMisses (exported as icHits/icMisses
+// in bitc-metrics/v1). docs/vm.md states the invalidation rules.
+
+import (
+	"bitc/internal/types"
+)
+
+// icache is one dispatch site's monomorphic cache.
+//
+// Field sites key on the struct's *types.StructInfo identity — every object
+// of that declared shape shares the cache, so a loop walking a vector of
+// nodes stays monomorphic. The cached field index was bounds-checked at fill
+// time and a shape's field count never changes, so a hit needs no bounds
+// check; region liveness and transaction state are re-checked on every hit
+// because they are per-object and per-thread, not per-shape.
+//
+// Vector sites key on the *Object identity of the last-seen vector. The
+// cache is only filled for heap vectors (Region < 0) and an object's region
+// never changes, so a hit can skip the liveness check entirely; the element
+// count is fixed at allocation, so the remembered bound stays valid. The
+// index is still range-checked against that bound (it is data, not shape).
+type icache struct {
+	shape *types.StructInfo // field sites: last-seen struct declaration
+	obj   *Object           // vector sites: last-seen vector
+	bound int64             // vector sites: len(obj.Elems) at fill time
+}
+
+func hGetField(v *VM, t *Thread, fr *Frame, d *dinstr) error {
+	if val := fr.regs[d.a]; val.K == KRef {
+		o := val.R
+		if o.SDecl != nil && o.SDecl == d.ic.shape && o.Region < 0 && t.txn == nil {
+			v.Stats.ICHits++
+			v.Stats.FieldReads++
+			fr.regs[d.dst] = o.Elems[d.imm]
+			return nil
+		}
+	}
+	v.Stats.ICMisses++
+	err := v.exec(t, fr, d.src)
+	if err == nil {
+		d.ic.fillField(fr.regs[d.a], t)
+	}
+	return err
+}
+
+func hSetField(v *VM, t *Thread, fr *Frame, d *dinstr) error {
+	if val := fr.regs[d.a]; val.K == KRef {
+		o := val.R
+		if o.SDecl != nil && o.SDecl == d.ic.shape && o.Region < 0 && t.txn == nil {
+			v.Stats.ICHits++
+			v.Stats.FieldWrites++
+			o.Elems[d.imm] = fr.regs[d.b]
+			o.Version++ // STM conflict detection sees cached writes too
+			return nil
+		}
+	}
+	v.Stats.ICMisses++
+	err := v.exec(t, fr, d.src)
+	if err == nil {
+		d.ic.fillField(fr.regs[d.a], t)
+	}
+	return err
+}
+
+// fillField records the shape after a successful slow-path field access.
+// Region-allocated objects are cacheable for field sites — the fast path
+// re-checks liveness — but transactional accesses are not: the fill would
+// memoize a read that bypasses the read/write buffers.
+func (ic *icache) fillField(val Value, t *Thread) {
+	if t.txn != nil || val.K != KRef {
+		return
+	}
+	ic.shape = val.R.SDecl
+}
+
+func hVecRef(v *VM, t *Thread, fr *Frame, d *dinstr) error {
+	ic := d.ic
+	if val := fr.regs[d.a]; val.K == KRef && val.R == ic.obj && t.txn == nil {
+		// Once the identity matches, this path is definitive: the index is
+		// loaded exactly once (the box-read accounting must match the slow
+		// path's), and out of bounds traps here with the slow path's message.
+		i := v.loadInt(fr.regs[d.b])
+		if uint64(i) >= uint64(ic.bound) {
+			v.Stats.ICMisses++
+			return trapf("vector index %d out of range 0..%d", i, ic.bound-1)
+		}
+		v.Stats.ICHits++
+		v.Stats.VecOps++
+		fr.regs[d.dst] = val.R.Elems[i]
+		return nil
+	}
+	v.Stats.ICMisses++
+	err := v.exec(t, fr, d.src)
+	if err == nil {
+		ic.fillVec(fr.regs[d.a], t)
+	}
+	return err
+}
+
+func hVecSet(v *VM, t *Thread, fr *Frame, d *dinstr) error {
+	ic := d.ic
+	if val := fr.regs[d.a]; val.K == KRef && val.R == ic.obj && t.txn == nil {
+		i := v.loadInt(fr.regs[d.b])
+		if uint64(i) >= uint64(ic.bound) {
+			v.Stats.ICMisses++
+			return trapf("vector index %d out of range 0..%d", i, ic.bound-1)
+		}
+		v.Stats.ICHits++
+		v.Stats.VecOps++
+		val.R.Elems[i] = fr.regs[d.args[0]]
+		val.R.Version++
+		return nil
+	}
+	v.Stats.ICMisses++
+	err := v.exec(t, fr, d.src)
+	if err == nil {
+		ic.fillVec(fr.regs[d.a], t)
+	}
+	return err
+}
+
+// fillVec records the vector identity after a successful slow-path access.
+// Only heap vectors are cached: identity then implies liveness forever, so
+// the hot path carries no region check at all.
+func (ic *icache) fillVec(val Value, t *Thread) {
+	if t.txn != nil || val.K != KRef || val.R.Region >= 0 {
+		return
+	}
+	ic.obj = val.R
+	ic.bound = int64(len(val.R.Elems))
+}

@@ -145,7 +145,8 @@ func TestNestedAtomicAbortRollsBackWholeWriteSet(t *testing.T) {
 func TestAtomicLivelockTrap(t *testing.T) {
 	mod := stmLoad(t, `(define (main) int64 0)`)
 	v := New(mod, Options{})
-	fr := &Frame{fn: mod.Funcs[mod.Entry], regs: make([]Value, 4)}
+	v.ensureDecoded()
+	fr := &Frame{fn: v.dfuncs[mod.Entry], regs: make([]Value, 4)}
 	th := &Thread{ID: 1, frames: []*Frame{fr}}
 	if err := v.atomicBegin(th, fr); err != nil {
 		t.Fatal(err)

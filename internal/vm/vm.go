@@ -39,6 +39,9 @@ type Options struct {
 	Quantum  int    // instructions between preemption points (default 64)
 	MaxSteps uint64 // 0 = unlimited; otherwise trap after this many instructions
 	Stdout   io.Writer
+	// Dispatch selects the interpreter strategy; the zero value
+	// (DispatchFused) is the production hot path. See decode.go.
+	Dispatch DispatchMode
 	// RespectNoBox honours the optimiser's NoBox annotations in Boxed mode
 	// (experiment E2 runs with and without it).
 	RespectNoBox bool
@@ -67,6 +70,8 @@ type Stats struct {
 	ExternCalls     uint64
 	MarshalledBytes uint64
 	RegionAllocs    uint64
+	ICHits          uint64 // inline-cache fast-path executions (see icache.go)
+	ICMisses        uint64 // inline-cache slow-path executions
 }
 
 // ThreadState tracks scheduling.
@@ -82,9 +87,13 @@ const (
 	TDone
 )
 
-// Frame is one activation record.
+// Frame is one activation record. block/ip address the decoded code
+// (fn.blocks) — after fusion a slot may cover several source instructions,
+// and every resumption point (STM rollback, blocked-thread wake) is a slot
+// boundary in the same decoded index domain. Under DispatchSwitch, ip
+// instead indexes the raw ir.Instr stream.
 type Frame struct {
-	fn    *ir.Func
+	fn    *dfunc
 	regs  []Value
 	block int
 	ip    int
@@ -131,6 +140,11 @@ type ExternFunc func(args []int64) int64
 type VM struct {
 	mod  *ir.Module
 	opts Options
+
+	// dfuncs is the decoded module: one pre-specialized (and, under
+	// DispatchFused, superinstruction-fused) body per ir.Func, built once by
+	// ensureDecoded before the first run. See decode.go.
+	dfuncs []*dfunc
 
 	globals  []Value
 	threads  []*Thread
@@ -295,7 +309,7 @@ func (v *VM) RunFunc(name string, args ...Value) (Value, error) {
 	if len(args) != f.NumParams {
 		return unitVal(), trapf("%s expects %d arguments, got %d", name, f.NumParams, len(args))
 	}
-	main := v.spawnThread(f, args, nil)
+	main := v.spawnThread(v.dfuncs[idx], args, nil)
 	if err := v.schedule(); err != nil {
 		return unitVal(), err
 	}
@@ -303,9 +317,10 @@ func (v *VM) RunFunc(name string, args ...Value) (Value, error) {
 }
 
 func (v *VM) initGlobals() error {
+	v.ensureDecoded()
 	v.globals = make([]Value, len(v.mod.Globals))
 	for i, g := range v.mod.Globals {
-		t := v.spawnThread(v.mod.Funcs[g.Init], nil, nil)
+		t := v.spawnThread(v.dfuncs[g.Init], nil, nil)
 		if err := v.schedule(); err != nil {
 			return fmt.Errorf("initialising global %s: %w", g.Name, err)
 		}
@@ -314,8 +329,9 @@ func (v *VM) initGlobals() error {
 	return nil
 }
 
-func (v *VM) spawnThread(f *ir.Func, args []Value, env []Value) *Thread {
-	fr := &Frame{fn: f, regs: make([]Value, f.NumRegs), dst: ir.NoReg}
+func (v *VM) spawnThread(df *dfunc, args []Value, env []Value) *Thread {
+	f := df.fn
+	fr := &Frame{fn: df, regs: make([]Value, f.NumRegs), dst: ir.NoReg}
 	copy(fr.regs, args)
 	for i, r := range f.CaptureRegs {
 		if i < len(env) {
@@ -398,7 +414,7 @@ func (v *VM) runQuantum(t *Thread) error {
 		spanStart = v.obs.Clock()
 	}
 	var err error
-	for n := 0; n < v.opts.Quantum; n++ {
+	for n := 0; n < v.opts.Quantum; {
 		if t.state != TRunnable || len(t.frames) == 0 {
 			break
 		}
@@ -411,7 +427,10 @@ func (v *VM) runQuantum(t *Thread) error {
 			break
 		}
 		v.stepsLeft--
-		if err = v.step(t); err != nil {
+		var consumed int
+		consumed, err = v.step(t)
+		n += consumed
+		if err != nil {
 			break
 		}
 	}
@@ -421,39 +440,86 @@ func (v *VM) runQuantum(t *Thread) error {
 	return err
 }
 
-// step executes one instruction or terminator of t's top frame.
-func (v *VM) step(t *Thread) error {
+// step executes one decoded slot (instruction, superinstruction, or
+// terminator) of t's top frame and returns the number of quantum slots it
+// consumed — a superinstruction consumes its full width, so fusion can
+// overrun a quantum boundary by at most width-1 instructions but never
+// under-charges the scheduler.
+func (v *VM) step(t *Thread) (int, error) {
 	fr := t.frames[len(t.frames)-1]
-	blk := fr.fn.Blocks[fr.block]
-	if fr.ip >= len(blk.Instrs) {
-		return v.terminator(t, fr, blk.Term)
+	if v.opts.Dispatch == DispatchSwitch {
+		// Legacy baseline: fetch ir.Instr and re-discriminate in exec's
+		// switch, exactly the seed interpreter.
+		blk := fr.fn.fn.Blocks[fr.block]
+		if fr.ip >= len(blk.Instrs) {
+			term := &dterm{kind: blk.Term.Kind, cond: blk.Term.Cond,
+				to: blk.Term.To, els: blk.Term.Else, val: blk.Term.Val}
+			return 1, v.terminator(t, fr, term)
+		}
+		in := &blk.Instrs[fr.ip]
+		fr.ip++
+		v.Stats.Instrs++
+		if v.obs != nil {
+			v.obs.Tick(t.obs, fr.prof, int(in.Op))
+		}
+		return 1, v.exec(t, fr, in)
 	}
-	in := &blk.Instrs[fr.ip]
+	blk := &fr.fn.blocks[fr.block]
+	if fr.ip >= len(blk.code) {
+		return 1, v.terminator(t, fr, &blk.term)
+	}
+	d := &blk.code[fr.ip]
 	fr.ip++
 	v.Stats.Instrs++
 	if v.obs != nil {
-		v.obs.Tick(t.obs, fr.prof, int(in.Op))
+		v.obs.Tick(t.obs, fr.prof, int(d.op))
 	}
-	return v.exec(t, fr, in)
+	return int(d.width), d.h(v, t, fr, d)
 }
 
-func (v *VM) terminator(t *Thread, fr *Frame, term ir.Terminator) error {
-	switch term.Kind {
+// tickFused charges one original instruction executed inside a
+// superinstruction: budget, Stats.Instrs, and the observability clock fire
+// exactly as they would between two unfused dispatches.
+func (v *VM) tickFused(t *Thread, fr *Frame, op ir.Op) error {
+	if v.stepsLeft == 0 {
+		return trapf("instruction budget exhausted")
+	}
+	v.stepsLeft--
+	v.Stats.Instrs++
+	if v.obs != nil {
+		v.obs.Tick(t.obs, fr.prof, int(op))
+	}
+	return nil
+}
+
+// useStep charges instruction budget without ticking — the fused-in
+// terminator's share, since terminators consume a scheduler slot but are
+// not counted or profiled as instructions.
+func (v *VM) useStep() error {
+	if v.stepsLeft == 0 {
+		return trapf("instruction budget exhausted")
+	}
+	v.stepsLeft--
+	return nil
+}
+
+func (v *VM) terminator(t *Thread, fr *Frame, term *dterm) error {
+	switch term.kind {
 	case ir.TermJump:
-		fr.block, fr.ip = term.To, 0
+		fr.block, fr.ip = term.to, 0
 		return nil
 	case ir.TermBranch:
-		if fr.regs[term.Cond].Truthy() {
-			fr.block = term.To
+		if fr.regs[term.cond].Truthy() {
+			fr.block = term.to
 		} else {
-			fr.block = term.Else
+			fr.block = term.els
 		}
 		fr.ip = 0
 		return nil
 	case ir.TermReturn:
 		var result Value
-		if term.Val != ir.NoReg {
-			result = fr.regs[term.Val]
+		if term.val != ir.NoReg {
+			result = fr.regs[term.val]
 		} else {
 			result = unitVal()
 		}
@@ -489,7 +555,8 @@ func (v *VM) wakeJoiners(done *Thread) {
 const maxFrames = 10000
 
 // newFrame takes a pooled activation record when one fits, else allocates.
-func (v *VM) newFrame(f *ir.Func, dst ir.Reg) *Frame {
+func (v *VM) newFrame(df *dfunc, dst ir.Reg) *Frame {
+	f := df.fn
 	if n := len(v.framePool); n > 0 {
 		fr := v.framePool[n-1]
 		v.framePool = v.framePool[:n-1]
@@ -501,11 +568,11 @@ func (v *VM) newFrame(f *ir.Func, dst ir.Reg) *Frame {
 		} else {
 			fr.regs = make([]Value, f.NumRegs)
 		}
-		fr.fn, fr.dst, fr.block, fr.ip = f, dst, 0, 0
+		fr.fn, fr.dst, fr.block, fr.ip = df, dst, 0, 0
 		fr.prof = nil
 		return fr
 	}
-	return &Frame{fn: f, regs: make([]Value, f.NumRegs), dst: dst}
+	return &Frame{fn: df, regs: make([]Value, f.NumRegs), dst: dst}
 }
 
 // releaseFrame returns an activation record to the pool.
@@ -515,11 +582,12 @@ func (v *VM) releaseFrame(fr *Frame) {
 	}
 }
 
-func (v *VM) pushCall(t *Thread, f *ir.Func, args []Value, env []Value, dst ir.Reg) error {
+func (v *VM) pushCall(t *Thread, df *dfunc, args []Value, env []Value, dst ir.Reg) error {
 	if len(t.frames) >= maxFrames {
 		return trapf("stack overflow: more than %d frames", maxFrames)
 	}
-	fr := v.newFrame(f, dst)
+	f := df.fn
+	fr := v.newFrame(df, dst)
 	copy(fr.regs, args)
 	for i, r := range f.CaptureRegs {
 		if i < len(env) {

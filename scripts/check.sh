@@ -93,6 +93,25 @@ for f in /tmp/bitc-serve-shard.bitc /tmp/bitc-serve-twopc.bitc examples/bankstm/
 done
 rm -f /tmp/bitc-serve-shard.bitc /tmp/bitc-serve-twopc.bitc
 
+# Dispatch fidelity gate: the fused/specialized interpreter must agree with
+# the legacy switch baseline on values, traps, counters, and observer
+# streams over the kernel + example corpus, and the pinned fusion listings
+# of two E1 kernels must not drift silently (regenerate with -update and
+# review the diff; see docs/vm.md).
+go test -count=1 -run 'TestDispatchDifferential|TestDisasmGolden' ./internal/vm
+
+# Bench determinism gate: two deterministic E1 collections must be
+# byte-identical — dispatch work (specialization, fusion, inline caches)
+# must never leak nondeterminism into the committed trajectory files.
+go build -o /tmp/bitc-bench-check ./cmd/bitc-bench
+d1=$(mktemp -d); d2=$(mktemp -d)
+/tmp/bitc-bench-check -e E1 -quick -deterministic -metrics "$d1" > /dev/null
+/tmp/bitc-bench-check -e E1 -quick -deterministic -metrics "$d2" > /dev/null
+cmp "$d1/BENCH_E1.json" "$d2/BENCH_E1.json" || {
+    echo "deterministic E1 runs differ byte-for-byte"; exit 1; }
+echo "bench determinism: E1 deterministic collection is byte-reproducible"
+rm -rf "$d1" "$d2" /tmp/bitc-bench-check
+
 # Serving smoke gate (~2s): 10k transactions across 4 shards with
 # cross-shard 2PC transfers; `bitc serve` exits non-zero unless the
 # conservation-of-balance invariant holds at shutdown (see docs/serve.md).

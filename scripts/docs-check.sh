@@ -34,11 +34,27 @@ if [ -n "$stale" ]; then
 fi
 
 # Every required docs page must exist and be non-trivial.
-for f in docs/architecture.md docs/lint-codes.md docs/observability.md; do
+for f in docs/architecture.md docs/lint-codes.md docs/observability.md docs/vm.md; do
     if [ ! -s "$f" ]; then
         echo "docs-check: missing or empty $f"
         exit 1
     fi
 done
 
+# Opcode sweep: every opcode in the IR's instruction set must be covered by
+# the bytecode reference, by Go name, so a new opcode cannot ship without
+# documented semantics and traps.
+opcodes=$(mktemp)
+trap 'rm -f "$registry" "$documented" "$opcodes"' EXIT
+grep -o '^	Op[A-Z][A-Za-z]*' internal/ir/ir.go | tr -d '\t' | sort -u > "$opcodes"
+missing_ops=$(while read -r op; do
+    grep -q "$op" docs/vm.md || echo "$op"
+done < "$opcodes")
+if [ -n "$missing_ops" ]; then
+    echo "docs-check: opcodes in internal/ir/ir.go but not in docs/vm.md:"
+    printf '%s\n' "$missing_ops"
+    exit 1
+fi
+
 echo "docs-check: $(wc -l < "$registry" | tr -d ' ') lint codes documented, registry and docs agree"
+echo "docs-check: $(wc -l < "$opcodes" | tr -d ' ') opcodes covered by docs/vm.md"
