@@ -335,3 +335,47 @@ func BenchmarkAnalysisAtomicity(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkAnalysisBounds measures the relational bounds prover over the
+// E1 kernels: cold pays the full CFG + points-to rebuild against a fresh
+// fact store, warm serves the per-function proof sites from unchanged
+// content keys. The discharged-site ratio is reported alongside the
+// timing so a domain regression that silently stops proving sites is as
+// visible as a slowdown.
+func BenchmarkAnalysisBounds(b *testing.B) {
+	var progs []*core.Program
+	for _, name := range bench.KernelNames() {
+		src, ok := bench.KernelSource(name)
+		if !ok {
+			b.Fatalf("no kernel %q", name)
+		}
+		progs = append(progs, core.MustLoad(name, src, core.DefaultConfig))
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		sites, proved := 0, 0
+		for i := 0; i < b.N; i++ {
+			sites, proved = 0, 0
+			for _, p := range progs {
+				ps := analysis.BoundsProofsWithStore(p.AST, p.Info, factstore.New())
+				sites += ps.Sites
+				proved += ps.Proved
+			}
+		}
+		b.ReportMetric(float64(sites), "sites")
+		b.ReportMetric(float64(proved), "proved")
+	})
+	b.Run("warm", func(b *testing.B) {
+		stores := make([]*factstore.Store, len(progs))
+		for i, p := range progs {
+			stores[i] = factstore.New()
+			analysis.BoundsProofsWithStore(p.AST, p.Info, stores[i])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, p := range progs {
+				analysis.BoundsProofsWithStore(p.AST, p.Info, stores[j])
+			}
+		}
+	})
+}

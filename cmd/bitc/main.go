@@ -6,9 +6,13 @@
 //	bitc check <file>            type-check only
 //	bitc run [-boxed] [-contracts] [-seed N] [-profile cpu|alloc]
 //	         [-dispatch fused|specialized|switch] [-trace out.json]
-//	         [-top N] [-deterministic] <file>
+//	         [-top N] [-deterministic] [-bounds-elide] <file>
 //	                             compile and execute main; optionally collect
-//	                             a profile and/or a Perfetto-loadable trace
+//	                             a profile and/or a Perfetto-loadable trace.
+//	                             -bounds-elide runs the relational bounds
+//	                             prover at load time and drops the VM's
+//	                             bounds checks at proven sites (identical
+//	                             observable behaviour, fewer compares)
 //	bitc top [-profile cpu|alloc] [-top N] <file>
 //	                             run and print only the flat/cumulative
 //	                             profile report
@@ -47,12 +51,17 @@
 //	                              irreversible effects inside atomics,
 //	                              descending 2PC prepare order, nested
 //	                              atomics and unbounded retry loops
+//	bounds     BITC-BOUND001/002  relational vector-bounds verification:
+//	                              provably out-of-range accesses (error) and
+//	                              the undischarged remainder (under -strict)
 //	deadlock   BITC-DLOCK001/002  lock-order cycles, re-entrant acquisition
 //	deadstore  BITC-DEAD001/002   dead (alias-aware) stores, unused bindings
 //	definit    BITC-INIT001       mutable locals read before first set!
 //	escape     BITC-ESCAPE001/002 region values outliving their region;
 //	                              uses after a region definitely exited
-//	ffi        BITC-FFI001/002/003 C-ABI boundary violations
+//	ffi        BITC-FFI001..003,  C-ABI boundary violations; PROV001 flags
+//	           BITC-PROV001       capability-narrowing casts whose value
+//	                              range exceeds the declared foreign window
 //	race       BITC-RACE001       lockset data races (through aliases too)
 //	truncate   BITC-TRUNC001/002  casts that can lose bits
 package main
@@ -128,6 +137,7 @@ func run(args []string) error {
 	tracePath := fs.String("trace", "", "run: write a Chrome trace_event JSON file (load in Perfetto or chrome://tracing)")
 	topN := fs.Int("top", 10, "run/top: number of functions shown in the profile report")
 	deterministic := fs.Bool("deterministic", false, "run/top: omit wall-clock fields so observability output is byte-reproducible")
+	boundsElide := fs.Bool("bounds-elide", false, "run/top/disasm: statically prove vector bounds and elide the VM's checks at discharged sites")
 	if cmd == "analyze" {
 		fs.Usage = func() {
 			fmt.Fprintln(os.Stderr, "usage: bitc analyze [-format pretty|json|sarif] [-strict] [-enable LIST] [-disable LIST] [-severity S] <file>")
@@ -198,6 +208,7 @@ func run(args []string) error {
 		Seed:          *seed,
 		Quantum:       *quantum,
 		Stdout:        os.Stdout,
+		BoundsElide:   *boundsElide,
 	}
 	if *boxed {
 		cfg.Mode = vm.Boxed
@@ -246,6 +257,10 @@ func run(args []string) error {
 		s := machine.Stats
 		fmt.Printf("[%s] instrs=%d calls=%d allocs=%d heap=%dB boxes=%d switches=%d ic=%d/%d\n",
 			machine.Mode(), s.Instrs, s.Calls, s.Allocs, s.HeapBytes, s.BoxAllocs, s.Switches, s.ICHits, s.ICMisses)
+		if prog.Proofs != nil {
+			fmt.Printf("[bounds] %d/%d vector-access sites proven in range, checks elided\n",
+				prog.Proofs.Proved, prog.Proofs.Sites)
+		}
 		return finishObs(rec, dim, *profile != "", *tracePath, *topN)
 
 	case "top":

@@ -22,6 +22,7 @@ var documentedPackages = []string{
 	"internal/cfg",
 	"internal/core",
 	"internal/dataflow",
+	"internal/dataflow/interval",
 	"internal/ir",
 	"internal/obs",
 	"internal/serve",

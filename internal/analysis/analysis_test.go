@@ -31,7 +31,7 @@ const noisy = `
 `
 
 func TestRegisteredAnalyzers(t *testing.T) {
-	want := []string{"atomicity", "deadlock", "deadstore", "definit", "escape", "ffi", "race", "truncate"}
+	want := []string{"atomicity", "bounds", "deadlock", "deadstore", "definit", "escape", "ffi", "race", "truncate"}
 	got := analysis.Registry()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(got), len(want))
@@ -91,7 +91,7 @@ func TestJSONOutputValid(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
 	}
-	if doc.File != "t.bitc" || len(doc.Analyzers) != 8 {
+	if doc.File != "t.bitc" || len(doc.Analyzers) != 9 {
 		t.Errorf("header wrong: file=%q analyzers=%v", doc.File, doc.Analyzers)
 	}
 	if len(doc.Findings) == 0 {
@@ -118,7 +118,7 @@ func TestEnableDisable(t *testing.T) {
 	if hasCode(without, analysis.CodeRace) {
 		t.Error("disabled analyzer still reported")
 	}
-	if len(without.Analyzers) != 7 {
+	if len(without.Analyzers) != 8 {
 		t.Errorf("analyzers ran: %v", without.Analyzers)
 	}
 }

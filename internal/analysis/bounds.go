@@ -1,0 +1,963 @@
+package analysis
+
+// The bounds analyzer is the static twin of the VM's vector bounds check
+// (`vector index %d out of range 0..%d`, internal/vm/exec.go). It runs a
+// relational interval analysis over the function's CFG — the same
+// internal/dataflow/interval domain the truncate checker uses, extended
+// with symbolic difference bounds (`i <= n+k`, `i >= n+k`) — and resolves
+// every `vector-ref`/`vector-set!` site against the length of the vector
+// it accesses, recovered from `make-vector`/`vector` allocation sites
+// through the points-to object graph.
+//
+// Three mechanisms make loops provable:
+//
+//   - branch refinement: `(< i n)` on the true edge records both the
+//     numeric clamp and the symbolic fact i <= n-1;
+//   - loop-induction recognition: `(set! i (+ i 1))` shifts i's numeric
+//     range and its symbolic offsets instead of discarding them, and the
+//     solver's widening/narrowing hooks (dataflow.Widener) converge the
+//     growing counter without losing the loop exit bound;
+//   - symbolic lengths: `(make-vector n 0)` records len(v) = n against the
+//     allocation's points-to object, so `i <= n-1` discharges `v[i]`
+//     without knowing n.
+//
+// Verdicts per site: provably out of range (BITC-BOUND001, error — the
+// trap always fires if the site executes), proved in range (no finding;
+// the site joins the BoundsProofs set that internal/vm uses to elide its
+// bounds checks), or neither (BITC-BOUND002, a note shown under -strict).
+
+import (
+	"fmt"
+	"math/big"
+
+	"bitc/internal/ast"
+	"bitc/internal/cfg"
+	"bitc/internal/dataflow"
+	"bitc/internal/dataflow/interval"
+	"bitc/internal/pointsto"
+	"bitc/internal/source"
+	"bitc/internal/types"
+)
+
+// Bounds lint codes.
+const (
+	// CodeBoundOOB flags a vector access that is provably out of range on
+	// every execution reaching it.
+	CodeBoundOOB = "BITC-BOUND001"
+	// CodeBoundMaybe flags a vector access the prover could not discharge;
+	// it is informational and rendered only under -strict.
+	CodeBoundMaybe = "BITC-BOUND002"
+)
+
+var boundsAnalyzer = register(&Analyzer{
+	Name:          "bounds",
+	Doc:           "relational vector-bounds verification: branch-refined, loop-inducted ranges against symbolic vector lengths",
+	Code:          CodeBoundOOB,
+	Codes:         []string{CodeBoundOOB, CodeBoundMaybe},
+	PerFunction:   true,
+	NeedsCFG:      true,
+	NeedsPointsTo: true,
+	Run:           runBounds,
+})
+
+func runBounds(p *Pass) {
+	eng := newBoundsEngine(p.Info, p.CFG(nil), p.PointsTo, p.Fn.Name)
+	for _, s := range eng.analyze() {
+		switch s.verdict {
+		case siteOOB:
+			p.Reportf(CodeBoundOOB, source.Error, s.span, "%s", s.msg)
+		case siteUnproven:
+			p.Reportf(CodeBoundMaybe, source.Note, s.span, "%s", s.msg)
+		}
+	}
+}
+
+// siteVerdict classifies one static vector-access site.
+type siteVerdict int
+
+const (
+	siteProved siteVerdict = iota
+	siteOOB
+	siteUnproven
+)
+
+// boundsSite is the engine's result for one vector-ref/vector-set! site.
+type boundsSite struct {
+	span    source.Span
+	verdict siteVerdict
+	msg     string
+}
+
+// lenFact is what the engine knows about the length of the vectors
+// allocated at one site: a numeric range, and optionally an exact symbolic
+// form length == sym + k for a local whose value is stable over the whole
+// function activation.
+type lenFact struct {
+	rng *interval.I
+	sym string
+	k   *big.Int
+}
+
+func (lf *lenFact) String() string {
+	if lf == nil {
+		return "unknown"
+	}
+	if lf.sym != "" {
+		if lf.k.Sign() == 0 {
+			return lf.sym
+		}
+		return fmt.Sprintf("%s%+d", lf.sym, lf.k)
+	}
+	return lf.rng.String()
+}
+
+// bFact is the per-variable dataflow fact: a numeric interval plus
+// symbolic difference bounds (var <= sym+k for each ub entry, var >= sym+k
+// for each lb entry). Facts are immutable; transfer builds fresh ones.
+type bFact struct {
+	rng    *interval.I
+	ub, lb map[string]*big.Int
+}
+
+func (f *bFact) clone() *bFact {
+	out := &bFact{rng: f.rng}
+	if len(f.ub) > 0 {
+		out.ub = make(map[string]*big.Int, len(f.ub))
+		for k, v := range f.ub {
+			out.ub[k] = v
+		}
+	}
+	if len(f.lb) > 0 {
+		out.lb = make(map[string]*big.Int, len(f.lb))
+		for k, v := range f.lb {
+			out.lb[k] = v
+		}
+	}
+	return out
+}
+
+// shift translates the fact by a constant: numeric range and every
+// symbolic offset move together — this is what keeps `(set! i (+ i 1))`
+// style induction updates relational instead of destructive.
+func (f *bFact) shift(k *big.Int) *bFact {
+	out := &bFact{rng: interval.Shift(f.rng, k)}
+	if len(f.ub) > 0 {
+		out.ub = make(map[string]*big.Int, len(f.ub))
+		for s, v := range f.ub {
+			out.ub[s] = new(big.Int).Add(v, k)
+		}
+	}
+	if len(f.lb) > 0 {
+		out.lb = make(map[string]*big.Int, len(f.lb))
+		for s, v := range f.lb {
+			out.lb[s] = new(big.Int).Add(v, k)
+		}
+	}
+	return out
+}
+
+func eqSymBounds(a, b map[string]*big.Int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || av.Cmp(bv) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// boundsEnv is the dataflow fact: known facts for locals, plus a
+// reachability flag distinguishing bottom from "reachable, nothing known".
+type boundsEnv struct {
+	reached bool
+	vars    map[string]*bFact
+}
+
+func (e boundsEnv) clone() boundsEnv {
+	out := boundsEnv{reached: e.reached, vars: make(map[string]*bFact, len(e.vars))}
+	for k, v := range e.vars {
+		out.vars[k] = v
+	}
+	return out
+}
+
+// boundsEngine is the forward relational-interval problem plus the site
+// checker built on its solution. One engine analyzes one function.
+type boundsEngine struct {
+	info *types.Info
+	g    *cfg.Graph
+	pts  *pointsto.Result
+	fn   string
+
+	// volatile: locals a closure may assign — never tracked.
+	volatile map[string]bool
+	// assigned: locals that are the target of any set!.
+	assigned map[string]bool
+	// inLoop marks blocks that belong to some natural loop; a symbol
+	// declared inside a loop is re-bound per iteration and cannot anchor a
+	// flow-insensitive length fact.
+	inLoop []bool
+	// lens maps each points-to vector object to its length fact.
+	lens map[*pointsto.Object]*lenFact
+}
+
+func newBoundsEngine(info *types.Info, g *cfg.Graph, pts *pointsto.Result, fn string) *boundsEngine {
+	eng := &boundsEngine{
+		info: info, g: g, pts: pts, fn: fn,
+		volatile: map[string]bool{},
+		assigned: map[string]bool{},
+		inLoop:   make([]bool, len(g.Blocks)),
+		lens:     map[*pointsto.Object]*lenFact{},
+	}
+	for _, b := range g.Blocks {
+		for _, a := range b.Atoms {
+			if a.Op == cfg.OpUse && a.Deferred && a.WriteRef {
+				eng.volatile[a.Name] = true
+			}
+			if a.Op == cfg.OpDef {
+				eng.assigned[a.Name] = true
+			}
+		}
+		if b.Loop != nil {
+			for _, m := range g.LoopBlocks(b) {
+				eng.inLoop[m.Index] = true
+			}
+		}
+	}
+	eng.scanAllocs()
+	return eng
+}
+
+// symOK reports whether name can appear as the anchor of a symbolic bound:
+// its value must not change underneath the fact. Loop induction variables
+// advance without a set! atom, so they are excluded too (an upper bound
+// over a monotonically increasing counter would stay sound, but a lower
+// bound would not; excluding them keeps the fact language uniform).
+func (eng *boundsEngine) symOK(name string) bool {
+	if name == "" || eng.volatile[name] || eng.assigned[name] {
+		return false
+	}
+	if d := eng.g.Decls[name]; d != nil && d.Kind == cfg.DeclLoop {
+		return false
+	}
+	return true
+}
+
+// scanAllocs records a length fact for every vector allocation site in the
+// function. Length facts are flow-insensitive (an object's element count is
+// fixed at allocation), so counts are evaluated under the empty environment:
+// literals, casts, and stable symbols survive; anything else degrades to the
+// count's type range. A symbolic anchor additionally requires the anchoring
+// local to be declared outside any loop — a let re-bound per iteration has a
+// different value for each allocated instance.
+func (eng *boundsEngine) scanAllocs() {
+	if eng.pts == nil {
+		return // no object graph: every vector length stays unknown
+	}
+	for _, b := range eng.g.Blocks {
+		for _, a := range b.Atoms {
+			if a.Op != cfg.OpCall {
+				continue
+			}
+			call, ok := a.Expr.(*ast.Call)
+			if !ok {
+				continue
+			}
+			var lf *lenFact
+			switch a.Name {
+			case "make-vector":
+				if len(call.Args) != 2 {
+					continue
+				}
+				cf := eng.evalFact(boundsEnv{reached: true}, call.Args[0])
+				if cf == nil {
+					continue
+				}
+				lf = &lenFact{rng: cf.rng}
+				// An exact symbolic length needs matching upper and lower
+				// offsets against the same stable, loop-free anchor.
+				for s, hi := range cf.ub {
+					if lo, ok := cf.lb[s]; ok && lo.Cmp(hi) == 0 && eng.stableAnchor(s) {
+						lf.sym, lf.k = s, hi
+						break
+					}
+				}
+			case "vector":
+				lf = &lenFact{rng: interval.Of(int64(len(call.Args)), int64(len(call.Args)))}
+			default:
+				continue
+			}
+			// A vector that exists has a non-negative length (a negative
+			// make-vector count traps at the allocation, so no access ever
+			// sees it).
+			lf.rng = interval.Intersect(lf.rng, interval.New(big.NewInt(0), nil))
+			for _, o := range eng.pts.ExprObjects(call) {
+				if o.Kind == pointsto.ObjVector {
+					eng.lens[o] = lf
+				}
+			}
+		}
+	}
+}
+
+// stableAnchor reports whether name may anchor a flow-insensitive length
+// fact: symOK plus declared outside every loop (parameters always qualify).
+func (eng *boundsEngine) stableAnchor(name string) bool {
+	if !eng.symOK(name) {
+		return false
+	}
+	d := eng.g.Decls[name]
+	if d == nil {
+		return false
+	}
+	if d.Kind == cfg.DeclParam {
+		return true
+	}
+	for _, b := range eng.g.Blocks {
+		for _, a := range b.Atoms {
+			if a.Op == cfg.OpDecl && a.Name == name {
+				return !eng.inLoop[b.Index]
+			}
+		}
+	}
+	return false
+}
+
+// analyze solves the dataflow problem and classifies every vector-access
+// site, in deterministic block/atom order.
+func (eng *boundsEngine) analyze() []boundsSite {
+	res := dataflow.Solve[boundsEnv](eng.g, eng)
+	var sites []boundsSite
+	for _, b := range eng.g.Blocks {
+		env := res.In[b.Index]
+		for _, a := range b.Atoms {
+			if a.Op == cfg.OpCall && (a.Name == "vector-ref" || a.Name == "vector-set!") {
+				if call, ok := a.Expr.(*ast.Call); ok && len(call.Args) >= 2 {
+					checkEnv := env
+					if a.Deferred || !env.reached {
+						// Deferred code runs at an unknown later point;
+						// only constants and stable symbols survive.
+						checkEnv = boundsEnv{reached: true}
+					}
+					sites = append(sites, eng.checkSite(checkEnv, call))
+				}
+			}
+			env = eng.step(env, a)
+		}
+	}
+	return sites
+}
+
+// checkSite resolves one access against the length of the vector operand.
+func (eng *boundsEngine) checkSite(env boundsEnv, call *ast.Call) boundsSite {
+	s := boundsSite{span: call.Span()}
+	lf := eng.lenOf(call.Args[0])
+	idx := eng.evalFact(env, call.Args[1])
+	if idx == nil {
+		idx = &bFact{rng: interval.Top()}
+	}
+
+	// Provably out of range: the index is always negative, or always at or
+	// beyond every possible length.
+	if idx.rng.Hi != nil && idx.rng.Hi.Sign() < 0 {
+		s.verdict = siteOOB
+		s.msg = fmt.Sprintf("vector index is always out of range: index range %s is entirely negative", idx.rng)
+		return s
+	}
+	if lf != nil {
+		alwaysOver := lf.rng.Hi != nil && idx.rng.Lo != nil && idx.rng.Lo.Cmp(lf.rng.Hi) >= 0
+		if !alwaysOver && lf.sym != "" {
+			// index >= sym + k == length on every execution.
+			if lo, ok := idx.lb[lf.sym]; ok && lo.Cmp(lf.k) >= 0 {
+				alwaysOver = true
+			}
+		}
+		if alwaysOver {
+			s.verdict = siteOOB
+			s.msg = fmt.Sprintf("vector index is always out of range: index range %s never falls below the vector length %s", idx.rng, lf)
+			return s
+		}
+	}
+
+	// Proved in range: non-negative below, under the length above (either
+	// numerically against the smallest possible length, or symbolically
+	// against an exact length anchor).
+	if idx.rng.Nonneg() && lf != nil {
+		under := lf.rng.Lo != nil && idx.rng.Hi != nil && idx.rng.Hi.Cmp(lf.rng.Lo) < 0
+		if !under && lf.sym != "" {
+			// index <= sym + k' with k' <= k-1 means index <= length-1.
+			if hi, ok := idx.ub[lf.sym]; ok && hi.Cmp(new(big.Int).Sub(lf.k, big.NewInt(1))) <= 0 {
+				under = true
+			}
+		}
+		if under {
+			s.verdict = siteProved
+			return s
+		}
+	}
+
+	s.verdict = siteUnproven
+	s.msg = fmt.Sprintf("vector index may be out of range: the prover cannot discharge index range %s against vector length %s", idx.rng, lf)
+	return s
+}
+
+// lenOf resolves the vector operand to its allocation-site length fact,
+// which requires the points-to set to be a single known vector object.
+func (eng *boundsEngine) lenOf(e ast.Expr) *lenFact {
+	if eng.pts == nil {
+		return nil
+	}
+	var objs []*pointsto.Object
+	if v, ok := e.(*ast.VarRef); ok {
+		if u := eng.g.Rename[v]; u != "" {
+			objs = eng.pts.VarObjects(eng.fn, u)
+		} else if eng.info.Globals[v.Name] != nil {
+			objs = eng.pts.GlobalObjects(v.Name)
+		}
+	} else {
+		objs = eng.pts.ExprObjects(e)
+	}
+	if len(objs) != 1 {
+		return nil
+	}
+	return eng.lens[objs[0]]
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow problem
+// ---------------------------------------------------------------------------
+
+// Direction is Forward: facts follow evaluation order.
+func (eng *boundsEngine) Direction() dataflow.Direction { return dataflow.Forward }
+
+// Boundary is the reachable empty environment at function entry.
+func (eng *boundsEngine) Boundary() boundsEnv { return boundsEnv{reached: true} }
+
+// Init is bottom (unreached).
+func (eng *boundsEngine) Init() boundsEnv { return boundsEnv{} }
+
+// Meet joins two paths: interval hull on numeric ranges, and the weaker of
+// each common symbolic offset (max for upper bounds, min for lower); facts
+// not present on both sides are dropped. Bottom is the identity.
+func (eng *boundsEngine) Meet(a, b boundsEnv) boundsEnv {
+	if !a.reached {
+		return b
+	}
+	if !b.reached {
+		return a
+	}
+	out := boundsEnv{reached: true, vars: map[string]*bFact{}}
+	for k, av := range a.vars {
+		bv, ok := b.vars[k]
+		if !ok {
+			continue
+		}
+		m := &bFact{rng: interval.Hull(av.rng, bv.rng)}
+		for s, ak := range av.ub {
+			if bk, ok := bv.ub[s]; ok {
+				if bk.Cmp(ak) > 0 {
+					ak = bk
+				}
+				if m.ub == nil {
+					m.ub = map[string]*big.Int{}
+				}
+				m.ub[s] = ak
+			}
+		}
+		for s, ak := range av.lb {
+			if bk, ok := bv.lb[s]; ok {
+				if bk.Cmp(ak) < 0 {
+					ak = bk
+				}
+				if m.lb == nil {
+					m.lb = map[string]*big.Int{}
+				}
+				m.lb[s] = ak
+			}
+		}
+		out.vars[k] = m
+	}
+	return out
+}
+
+// Equal compares environments for the solver's fixpoint test.
+func (eng *boundsEngine) Equal(a, b boundsEnv) bool {
+	if a.reached != b.reached || len(a.vars) != len(b.vars) {
+		return false
+	}
+	for k, av := range a.vars {
+		bv, ok := b.vars[k]
+		if !ok || !av.rng.Eq(bv.rng) || !eqSymBounds(av.ub, bv.ub) || !eqSymBounds(av.lb, bv.lb) {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer folds step over the block's atoms.
+func (eng *boundsEngine) Transfer(b *cfg.Block, in boundsEnv) boundsEnv {
+	if !in.reached {
+		return in
+	}
+	out := in.clone()
+	for _, a := range b.Atoms {
+		out = eng.step(out, a)
+	}
+	return out
+}
+
+// Widen accelerates loop convergence: numeric ranges widen side-wise
+// (interval.Widen), symbolic offsets survive only while stable, and facts
+// absent from the previous iteration pass through (first visit).
+func (eng *boundsEngine) Widen(_ *cfg.Block, prev, next boundsEnv) boundsEnv {
+	if !prev.reached || !next.reached {
+		return next
+	}
+	out := boundsEnv{reached: true, vars: map[string]*bFact{}}
+	for k, nv := range next.vars {
+		pv, ok := prev.vars[k]
+		if !ok {
+			out.vars[k] = nv
+			continue
+		}
+		w := &bFact{rng: interval.Widen(pv.rng, nv.rng)}
+		for s, nk := range nv.ub {
+			if pk, ok := pv.ub[s]; ok && pk.Cmp(nk) == 0 {
+				if w.ub == nil {
+					w.ub = map[string]*big.Int{}
+				}
+				w.ub[s] = nk
+			}
+		}
+		for s, nk := range nv.lb {
+			if pk, ok := pv.lb[s]; ok && pk.Cmp(nk) == 0 {
+				if w.lb == nil {
+					w.lb = map[string]*big.Int{}
+				}
+				w.lb[s] = nk
+			}
+		}
+		out.vars[k] = w
+	}
+	return out
+}
+
+// Narrow refines the widened header fact during the descending phase: each
+// variable keeps its symbolic bounds and narrows its numeric range against
+// the freshly recomputed meet (interval.Narrow only fills widened sides, so
+// the descent is sound and bounded).
+func (eng *boundsEngine) Narrow(_ *cfg.Block, prev, next boundsEnv) boundsEnv {
+	if !prev.reached || !next.reached {
+		return prev
+	}
+	out := boundsEnv{reached: true, vars: map[string]*bFact{}}
+	for k, pv := range prev.vars {
+		nv, ok := next.vars[k]
+		if !ok {
+			out.vars[k] = pv
+			continue
+		}
+		n := pv.clone()
+		n.rng = interval.Narrow(pv.rng, nv.rng)
+		out.vars[k] = n
+	}
+	return out
+}
+
+// step applies one atom (shared by Transfer and the checker's replay).
+func (eng *boundsEngine) step(env boundsEnv, a cfg.Atom) boundsEnv {
+	if !env.reached {
+		return env
+	}
+	switch a.Op {
+	case cfg.OpDef:
+		if a.Deferred {
+			return env
+		}
+		if s, ok := a.Expr.(*ast.Set); ok {
+			nf := eng.evalFact(env, s.Value)
+			return eng.rebind(env, a.Name, nf)
+		}
+	case cfg.OpDecl:
+		switch a.Decl.Kind {
+		case cfg.DeclLet:
+			return eng.rebind(env, a.Name, eng.evalFact(env, a.Decl.Binding.Init))
+		case cfg.DeclLoop:
+			// dotimes counts i = 0 .. count-1: the numeric upper bound comes
+			// from the count's range, the symbolic ones from the count's
+			// anchors shifted down by one.
+			if dt, ok := a.Decl.Node.(*ast.DoTimes); ok {
+				cf := eng.evalFact(env, dt.Count)
+				if cf != nil {
+					f := cf.shift(big.NewInt(-1))
+					f.rng = interval.Intersect(f.rng, interval.New(big.NewInt(0), nil))
+					f.lb = nil // i starts at 0 regardless of the count's floor
+					return eng.rebind(env, a.Name, f)
+				}
+			}
+			return eng.rebind(env, a.Name, nil)
+		default:
+			return eng.rebind(env, a.Name, nil)
+		}
+	}
+	return env
+}
+
+// rebind installs a new fact for name (nil clears it) and invalidates every
+// symbolic bound anchored on name — its value just changed.
+func (eng *boundsEngine) rebind(env boundsEnv, name string, f *bFact) boundsEnv {
+	if eng.volatile[name] {
+		return env
+	}
+	out := env.clone()
+	for k, v := range out.vars {
+		if _, ok := v.ub[name]; !ok {
+			if _, ok := v.lb[name]; !ok {
+				continue
+			}
+		}
+		nv := v.clone()
+		delete(nv.ub, name)
+		delete(nv.lb, name)
+		out.vars[k] = nv
+	}
+	if f == nil {
+		delete(out.vars, name)
+		return out
+	}
+	// A self-referential bound (x <= x+k from evaluating the old x) is
+	// meaningless after the rebind.
+	if _, ok := f.ub[name]; ok {
+		f = f.clone()
+		delete(f.ub, name)
+		delete(f.lb, name)
+	} else if _, ok := f.lb[name]; ok {
+		f = f.clone()
+		delete(f.lb, name)
+	}
+	out.vars[name] = f
+	return out
+}
+
+// Flow refines the fact along a branch edge: succ 0 is the true edge,
+// succ 1 the false edge (dataflow.EdgeRefiner).
+func (eng *boundsEngine) Flow(from *cfg.Block, succIdx int, out boundsEnv) boundsEnv {
+	if !out.reached || from.Cond == nil || len(from.Succs) != 2 {
+		return out
+	}
+	return eng.refine(out, from.Cond, succIdx == 0)
+}
+
+// refine applies a branch condition's truth to the environment.
+func (eng *boundsEngine) refine(env boundsEnv, cond ast.Expr, truth bool) boundsEnv {
+	call, ok := cond.(*ast.Call)
+	if !ok {
+		return env
+	}
+	fn, ok := call.Fn.(*ast.VarRef)
+	if !ok {
+		return env
+	}
+	switch fn.Name {
+	case "not":
+		if len(call.Args) == 1 {
+			return eng.refine(env, call.Args[0], !truth)
+		}
+		return env
+	case "and":
+		if truth {
+			for _, a := range call.Args {
+				env = eng.refine(env, a, true)
+			}
+		}
+		return env
+	case "or":
+		if !truth {
+			for _, a := range call.Args {
+				env = eng.refine(env, a, false)
+			}
+		}
+		return env
+	}
+	if len(call.Args) != 2 {
+		return env
+	}
+	a, b := call.Args[0], call.Args[1]
+	switch fn.Name {
+	case "<":
+		if truth {
+			return eng.constrainLess(env, a, b, true)
+		}
+		return eng.constrainLess(env, b, a, false) // !(a<b) == b<=a
+	case "<=":
+		if truth {
+			return eng.constrainLess(env, a, b, false)
+		}
+		return eng.constrainLess(env, b, a, true) // !(a<=b) == b<a
+	case ">":
+		return eng.refine(env, &ast.Call{Fn: fn2("<", fn), Args: []ast.Expr{b, a}}, truth)
+	case ">=":
+		return eng.refine(env, &ast.Call{Fn: fn2("<=", fn), Args: []ast.Expr{b, a}}, truth)
+	case "=":
+		if truth {
+			env = eng.constrainLess(env, a, b, false)
+			return eng.constrainLess(env, b, a, false)
+		}
+	}
+	return env
+}
+
+// constrainLess records a < b (strict) or a <= b into the environment,
+// clamping both operands numerically and merging symbolic offsets from the
+// opposite side. A numeric contradiction makes the edge unreachable.
+func (eng *boundsEngine) constrainLess(env boundsEnv, a, b ast.Expr, strict bool) boundsEnv {
+	af, bf := eng.evalFact(env, a), eng.evalFact(env, b)
+	gap := big.NewInt(0)
+	if strict {
+		gap = big.NewInt(1)
+	}
+	if bf != nil {
+		env = eng.applyBound(env, a, bf.shift(new(big.Int).Neg(gap)), true)
+	}
+	if !env.reached {
+		return env
+	}
+	if af != nil {
+		env = eng.applyBound(env, b, af.shift(gap), false)
+	}
+	return env
+}
+
+// applyBound clamps the local named by e with the given side of bound:
+// upper=true installs e <= bound (numeric Hi plus bound's ub anchors),
+// upper=false installs e >= bound (numeric Lo plus bound's lb anchors).
+func (eng *boundsEngine) applyBound(env boundsEnv, e ast.Expr, bound *bFact, upper bool) boundsEnv {
+	if !env.reached {
+		return env
+	}
+	v, ok := e.(*ast.VarRef)
+	if !ok {
+		return env
+	}
+	name := eng.g.Rename[v]
+	if name == "" || eng.volatile[name] {
+		return env
+	}
+	cur := eng.evalFact(env, e)
+	if cur == nil {
+		return env
+	}
+	next := cur.clone()
+	if upper {
+		next.rng = interval.Intersect(next.rng, interval.New(nil, bound.rng.Hi))
+		for s, k := range bound.ub {
+			if s == name || !eng.symOK(s) {
+				continue
+			}
+			if old, ok := next.ub[s]; !ok || k.Cmp(old) < 0 {
+				if next.ub == nil {
+					next.ub = map[string]*big.Int{}
+				}
+				next.ub[s] = k
+			}
+		}
+	} else {
+		next.rng = interval.Intersect(next.rng, interval.New(bound.rng.Lo, nil))
+		for s, k := range bound.lb {
+			if s == name || !eng.symOK(s) {
+				continue
+			}
+			if old, ok := next.lb[s]; !ok || k.Cmp(old) > 0 {
+				if next.lb == nil {
+					next.lb = map[string]*big.Int{}
+				}
+				next.lb[s] = k
+			}
+		}
+	}
+	if next.rng.Empty() {
+		return boundsEnv{} // condition can never hold: edge unreachable
+	}
+	out := env.clone()
+	out.vars[name] = next
+	return out
+}
+
+// evalFact computes a conservative fact for e under env, or nil when e is
+// not integer-valued. The fallback for unknown expressions is the full
+// (finite) type range with no symbolic bounds.
+func (eng *boundsEngine) evalFact(env boundsEnv, e ast.Expr) *bFact {
+	t := types.Prune(eng.info.TypeOf(e))
+	full := typeRange(t)
+	fallback := func() *bFact {
+		if full == nil {
+			return nil
+		}
+		return &bFact{rng: full}
+	}
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return &bFact{rng: interval.Point(big.NewInt(e.Value))}
+	case *ast.CharLit:
+		return &bFact{rng: interval.Point(big.NewInt(int64(e.Value)))}
+	case *ast.VarRef:
+		name := eng.g.Rename[e]
+		if name == "" {
+			return fallback()
+		}
+		f := env.vars[name]
+		if f == nil {
+			if full == nil {
+				return nil
+			}
+			f = &bFact{rng: full}
+		}
+		// A stable local is its own exact symbolic anchor: x <= x+0 and
+		// x >= x+0 — the seed every relational fact grows from.
+		if eng.symOK(name) {
+			f = f.clone()
+			if _, ok := f.ub[name]; !ok {
+				if f.ub == nil {
+					f.ub = map[string]*big.Int{}
+				}
+				f.ub[name] = big.NewInt(0)
+			}
+			if _, ok := f.lb[name]; !ok {
+				if f.lb == nil {
+					f.lb = map[string]*big.Int{}
+				}
+				f.lb[name] = big.NewInt(0)
+			}
+		}
+		return f
+	case *ast.Cast:
+		inner := eng.evalFact(env, e.Expr)
+		if inner != nil && full != nil && inner.rng.Within(full) {
+			return inner // value preserved by the cast
+		}
+		return fallback()
+	case *ast.Begin:
+		if n := len(e.Body); n > 0 {
+			if f := eng.evalFact(env, e.Body[n-1]); f != nil {
+				return f
+			}
+		}
+		return fallback()
+	case *ast.Call:
+		if f := eng.callFact(env, e); f != nil {
+			return f
+		}
+		return fallback()
+	}
+	return fallback()
+}
+
+// callFact evaluates the builtins the relational domain understands:
+// +/- (shifting symbolic offsets through constant offsets), vector-length
+// (projecting a length fact back into the integer domain), and the
+// masking/remainder builtins the truncate checker narrows.
+func (eng *boundsEngine) callFact(env boundsEnv, call *ast.Call) *bFact {
+	v, ok := call.Fn.(*ast.VarRef)
+	if !ok {
+		return nil
+	}
+	switch v.Name {
+	case "+", "-":
+		if len(call.Args) != 2 {
+			return nil
+		}
+		af, bf := eng.evalFact(env, call.Args[0]), eng.evalFact(env, call.Args[1])
+		if af == nil || bf == nil {
+			return nil
+		}
+		if v.Name == "+" {
+			if k := pointOf(bf); k != nil {
+				return af.shift(k)
+			}
+			if k := pointOf(af); k != nil {
+				return bf.shift(k)
+			}
+			return &bFact{rng: interval.Add(af.rng, bf.rng)}
+		}
+		if k := pointOf(bf); k != nil {
+			return af.shift(new(big.Int).Neg(k))
+		}
+		return &bFact{rng: interval.Sub(af.rng, bf.rng)}
+	case "vector-length":
+		if len(call.Args) != 1 {
+			return nil
+		}
+		lf := eng.lenOf(call.Args[0])
+		if lf == nil {
+			return nil
+		}
+		f := &bFact{rng: lf.rng}
+		if lf.sym != "" {
+			f.ub = map[string]*big.Int{lf.sym: lf.k}
+			f.lb = map[string]*big.Int{lf.sym: lf.k}
+		}
+		return f
+	case "bitand", "mod", "shr":
+		if r := eng.builtinNumRange(env, v.Name, call); r != nil {
+			return &bFact{rng: r}
+		}
+	}
+	return nil
+}
+
+// pointOf returns the constant value of a singleton fact, or nil.
+func pointOf(f *bFact) *big.Int {
+	if f.rng.Lo != nil && f.rng.Hi != nil && f.rng.Lo.Cmp(f.rng.Hi) == 0 {
+		return f.rng.Lo
+	}
+	return nil
+}
+
+// builtinNumRange mirrors the truncate checker's literal-operand narrowing
+// for masking/remainder/shift builtins, over the relational environment.
+func (eng *boundsEngine) builtinNumRange(env boundsEnv, name string, call *ast.Call) *interval.I {
+	if len(call.Args) != 2 {
+		return nil
+	}
+	lit, ok := call.Args[1].(*ast.IntLit)
+	if !ok {
+		return nil
+	}
+	argT := types.Prune(eng.info.TypeOf(call.Args[0]))
+	argRng := func() *interval.I {
+		if f := eng.evalFact(env, call.Args[0]); f != nil {
+			return f.rng
+		}
+		return nil
+	}
+	switch name {
+	case "bitand":
+		if lit.Value >= 0 {
+			return interval.Of(0, lit.Value)
+		}
+	case "mod":
+		if lit.Value > 0 {
+			hi := big.NewInt(lit.Value - 1)
+			if argT.Kind == types.KInt && argT.Signed {
+				if r := argRng(); r != nil && r.Nonneg() {
+					return interval.New(big.NewInt(0), hi)
+				}
+				return interval.New(new(big.Int).Neg(hi), hi)
+			}
+			return interval.New(big.NewInt(0), hi)
+		}
+	case "shr":
+		if full := typeRange(argT); full != nil && lit.Value >= 0 && lit.Value < 64 &&
+			argT.Kind == types.KInt && !argT.Signed {
+			base := full
+			if r := argRng(); r != nil && r.Nonneg() && r.Hi != nil {
+				base = r
+			}
+			return interval.New(big.NewInt(0), new(big.Int).Rsh(base.Hi, uint(lit.Value)))
+		}
+	}
+	return nil
+}

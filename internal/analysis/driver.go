@@ -224,6 +224,12 @@ func assembleReport(prog *ast.Program, opts Options, selected []*Analyzer, resul
 			if f.Severity < opts.MinSeverity {
 				continue
 			}
+			// Undischarged-but-unproven bounds sites are a prover audit
+			// trail, not a defect; they surface only under -strict. Filtering
+			// at assembly keeps the cached findings option-independent.
+			if f.Code == CodeBoundMaybe && !opts.Strict {
+				continue
+			}
 			if suppressed(prog, f) {
 				rep.Suppressed = append(rep.Suppressed, f)
 			} else {

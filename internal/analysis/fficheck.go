@@ -2,6 +2,9 @@ package analysis
 
 import (
 	"bitc/internal/ast"
+	"bitc/internal/cfg"
+	"bitc/internal/dataflow"
+	"bitc/internal/dataflow/interval"
 	"bitc/internal/source"
 	"bitc/internal/types"
 )
@@ -16,19 +19,28 @@ import (
 //     foreign side effects cannot be rolled back when the STM retries;
 //   - BITC-FFI003: a region-allocated value is passed to an external, which
 //     may retain the pointer past the region's dynamic extent (unpinned).
+//   - BITC-PROV001: capability narrowing — a cast at an external call site
+//     squeezes a value whose statically known bounds exceed the declared
+//     parameter window, so the foreign side receives punned bits with no
+//     record of the value's provenance. References cannot cross the ABI at
+//     all (FFI001), so the scalar windows are the boundary's capabilities,
+//     and a lossy cast into one is this language's int↔pointer pun. The
+//     check runs the bounds engine's relational ranges, so a guarded cast
+//     ((when (< x 256) ...)) does not fire.
 
 // FFI lint codes.
 const (
 	CodeFFIType   = "BITC-FFI001"
 	CodeFFIAtomic = "BITC-FFI002"
 	CodeFFIRegion = "BITC-FFI003"
+	CodeFFIProv   = "BITC-PROV001"
 )
 
 var ffiAnalyzer = register(&Analyzer{
 	Name:  "ffi",
-	Doc:   "C-ABI boundary checks: unmarshallable types, externals under STM, unpinned region values",
+	Doc:   "C-ABI boundary checks: unmarshallable types, externals under STM, unpinned region values, capability-narrowing casts",
 	Code:  CodeFFIType,
-	Codes: []string{CodeFFIType, CodeFFIAtomic, CodeFFIRegion},
+	Codes: []string{CodeFFIType, CodeFFIAtomic, CodeFFIRegion, CodeFFIProv},
 	Run:   runFFI,
 })
 
@@ -82,6 +94,102 @@ func runFFI(p *Pass) {
 			w.walkFunc(fn, false, 0)
 		}
 	}
+	runFFIProv(p)
+}
+
+// runFFIProv implements BITC-PROV001. For every function that calls an
+// external directly, the bounds engine's relational ranges are solved over
+// the function's CFG and each cast argument at an external call site is
+// compared against the declared parameter window: if the pre-cast value's
+// statically known range does not fit the window, the cast narrows a
+// capability at the boundary. Points-to facts are not needed — windows are
+// scalar — so the engine runs object-graph-free.
+func runFFIProv(p *Pass) {
+	windows := map[string][]*interval.I{}
+	for _, ext := range p.Info.Externals {
+		sch, ok := p.Info.Funcs[ext.Name]
+		if !ok {
+			continue
+		}
+		ft := types.Prune(sch.Type)
+		if ft.Kind != types.KFn {
+			continue
+		}
+		ws := make([]*interval.I, len(ft.Params))
+		for i, pt := range ft.Params {
+			ws[i] = typeRange(pt)
+		}
+		windows[ext.Name] = ws
+	}
+	if len(windows) == 0 {
+		return
+	}
+	for _, d := range p.Prog.Defs {
+		fn, ok := d.(*ast.DefineFunc)
+		if !ok || !callsAny(fn, windows) {
+			continue
+		}
+		g := cfg.Build(fn)
+		eng := newBoundsEngine(p.Info, g, nil, fn.Name)
+		res := dataflow.Solve[boundsEnv](g, eng)
+		for _, b := range g.Blocks {
+			env := res.In[b.Index]
+			for _, a := range b.Atoms {
+				if a.Op == cfg.OpCall {
+					if ws := windows[a.Name]; ws != nil {
+						checkEnv := env
+						if a.Deferred || !env.reached {
+							checkEnv = boundsEnv{reached: true}
+						}
+						if call, ok := a.Expr.(*ast.Call); ok {
+							checkProvCall(p, eng, checkEnv, a.Name, call, ws)
+						}
+					}
+				}
+				env = eng.step(env, a)
+			}
+		}
+	}
+}
+
+func checkProvCall(p *Pass, eng *boundsEngine, env boundsEnv, ext string, call *ast.Call, ws []*interval.I) {
+	for i, arg := range call.Args {
+		if i >= len(ws) || ws[i] == nil {
+			continue
+		}
+		cast, ok := arg.(*ast.Cast)
+		if !ok {
+			continue
+		}
+		f := eng.evalFact(env, cast.Expr)
+		if f == nil || f.rng.Within(ws[i]) {
+			continue
+		}
+		p.Reportf(CodeFFIProv, source.Warning, arg.Span(),
+			"external %s: argument %d narrows a value with statically known range %s into the declared window %s; the foreign side receives punned bits with no provenance",
+			ext, i+1, f.rng, ws[i])
+	}
+}
+
+// callsAny reports whether fn's body contains a direct call to any of the
+// named externals — the cheap pre-filter before building a CFG.
+func callsAny(fn *ast.DefineFunc, names map[string][]*interval.I) bool {
+	found := false
+	for _, e := range fn.Body {
+		ast.Walk(e, func(sub ast.Expr) bool {
+			if found {
+				return false
+			}
+			if c, ok := sub.(*ast.Call); ok {
+				if v, ok := c.Fn.(*ast.VarRef); ok && names[v.Name] != nil {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
 }
 
 type ffiWalker struct {

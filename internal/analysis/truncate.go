@@ -6,6 +6,7 @@ import (
 	"bitc/internal/ast"
 	"bitc/internal/cfg"
 	"bitc/internal/dataflow"
+	"bitc/internal/dataflow/interval"
 	"bitc/internal/source"
 	"bitc/internal/types"
 )
@@ -15,9 +16,11 @@ import (
 // values, remainders, and nested casts get tight ranges; locals carry the
 // range of their last assignment; and branch conditions refine ranges along
 // each edge — so inside `(if (< x 256) ...)` a `(cast uint8 x)` is clean
-// while the same cast outside is flagged. The lattice is finite (every bound
-// derives from a literal, a type bound, or finitely many ±1 refinement
-// steps), so the fixpoint always terminates.
+// while the same cast outside is flagged. The interval domain itself lives
+// in internal/dataflow/interval, shared with the bounds prover; here every
+// range stays finite (every bound derives from a literal, a type bound, or
+// finitely many ±1 refinement steps), so the fixpoint terminates without
+// widening.
 
 // Truncation lint codes.
 const (
@@ -71,10 +74,10 @@ func (tf *truncFlow) checkCast(p *Pass, cast *ast.Cast, env rangeEnv) {
 		if sr == nil || dr == nil {
 			return
 		}
-		if sr.lo.Cmp(dr.lo) < 0 || sr.hi.Cmp(dr.hi) > 0 {
+		if sr.Lo.Cmp(dr.Lo) < 0 || sr.Hi.Cmp(dr.Hi) > 0 {
 			p.Reportf(CodeTruncate, source.Warning, cast.Span(),
 				"cast from %s to %s may truncate: source range [%s, %s] exceeds target range [%s, %s]",
-				src, dst, sr.lo, sr.hi, dr.lo, dr.hi)
+				src, dst, sr.Lo, sr.Hi, dr.Lo, dr.Hi)
 		}
 	}
 }
@@ -83,35 +86,21 @@ func intLike(t *types.Type) bool {
 	return t.Kind == types.KInt || t.Kind == types.KChar
 }
 
-// valueRange is a closed interval of possible values.
-type valueRange struct {
-	lo, hi *big.Int
-}
-
-func newRange(lo, hi *big.Int) *valueRange { return &valueRange{lo: lo, hi: hi} }
-
-func within(inner, outer *valueRange) bool {
-	return inner.lo.Cmp(outer.lo) >= 0 && inner.hi.Cmp(outer.hi) <= 0
-}
-
-// typeRange returns the representable interval of an integer-like type.
-func typeRange(t *types.Type) *valueRange {
+// typeRange returns the representable interval of an integer-like type, or
+// nil for types without one. The result always has finite bounds.
+func typeRange(t *types.Type) *interval.I {
 	switch t.Kind {
 	case types.KChar:
-		return newRange(big.NewInt(0), big.NewInt(0x10FFFF))
+		return interval.Of(0, 0x10FFFF)
 	case types.KInt:
 		bits := t.Bits
 		if bits == 0 {
 			bits = 64
 		}
-		one := big.NewInt(1)
 		if t.Signed {
-			hi := new(big.Int).Lsh(one, uint(bits-1))
-			lo := new(big.Int).Neg(hi)
-			return newRange(lo, new(big.Int).Sub(hi, one))
+			return interval.Signed(bits)
 		}
-		hi := new(big.Int).Lsh(one, uint(bits))
-		return newRange(big.NewInt(0), new(big.Int).Sub(hi, one))
+		return interval.Unsigned(bits)
 	}
 	return nil
 }
@@ -126,11 +115,11 @@ func typeRange(t *types.Type) *valueRange {
 // (no path reaches this point) from "reachable, nothing narrowed".
 type rangeEnv struct {
 	reached bool
-	vars    map[string]*valueRange
+	vars    map[string]*interval.I
 }
 
 func (e rangeEnv) clone() rangeEnv {
-	out := rangeEnv{reached: e.reached, vars: make(map[string]*valueRange, len(e.vars))}
+	out := rangeEnv{reached: e.reached, vars: make(map[string]*interval.I, len(e.vars))}
 	for k, v := range e.vars {
 		out.vars[k] = v
 	}
@@ -172,21 +161,13 @@ func (tf *truncFlow) Meet(a, b rangeEnv) rangeEnv {
 	if !b.reached {
 		return a
 	}
-	out := rangeEnv{reached: true, vars: map[string]*valueRange{}}
+	out := rangeEnv{reached: true, vars: map[string]*interval.I{}}
 	for k, av := range a.vars {
 		bv, ok := b.vars[k]
 		if !ok {
 			continue
 		}
-		lo := av.lo
-		if bv.lo.Cmp(lo) < 0 {
-			lo = bv.lo
-		}
-		hi := av.hi
-		if bv.hi.Cmp(hi) > 0 {
-			hi = bv.hi
-		}
-		out.vars[k] = newRange(lo, hi)
+		out.vars[k] = interval.Hull(av, bv)
 	}
 	return out
 }
@@ -197,7 +178,7 @@ func (tf *truncFlow) Equal(a, b rangeEnv) bool {
 	}
 	for k, av := range a.vars {
 		bv, ok := b.vars[k]
-		if !ok || av.lo.Cmp(bv.lo) != 0 || av.hi.Cmp(bv.hi) != 0 {
+		if !ok || !av.Eq(bv) {
 			return false
 		}
 	}
@@ -221,7 +202,7 @@ func (tf *truncFlow) step(env rangeEnv, a cfg.Atom) rangeEnv {
 	if !env.reached {
 		return env
 	}
-	set := func(name string, r *valueRange) {
+	set := func(name string, r *interval.I) {
 		if tf.volatile[name] {
 			return
 		}
@@ -247,8 +228,8 @@ func (tf *truncFlow) step(env rangeEnv, a cfg.Atom) rangeEnv {
 		case cfg.DeclLoop:
 			// dotimes counts i = 0 .. count-1.
 			if dt, ok := a.Decl.Node.(*ast.DoTimes); ok {
-				if cr := tf.rangeOf(env, dt.Count); cr != nil && cr.hi.Sign() > 0 {
-					set(a.Name, newRange(big.NewInt(0), new(big.Int).Sub(cr.hi, big.NewInt(1))))
+				if cr := tf.rangeOf(env, dt.Count); cr != nil && cr.Hi.Sign() > 0 {
+					set(a.Name, interval.New(big.NewInt(0), new(big.Int).Sub(cr.Hi, big.NewInt(1))))
 					break
 				}
 			}
@@ -262,13 +243,12 @@ func (tf *truncFlow) step(env rangeEnv, a cfg.Atom) rangeEnv {
 
 // narrowed returns e's interval only when it is strictly tighter than the
 // full type range (keeping the environment small).
-func (tf *truncFlow) narrowed(env rangeEnv, e ast.Expr) *valueRange {
+func (tf *truncFlow) narrowed(env rangeEnv, e ast.Expr) *interval.I {
 	r := tf.rangeOf(env, e)
 	if r == nil {
 		return nil
 	}
-	if full := typeRange(types.Prune(tf.info.TypeOf(e))); full != nil &&
-		r.lo.Cmp(full.lo) <= 0 && r.hi.Cmp(full.hi) >= 0 {
+	if full := typeRange(types.Prune(tf.info.TypeOf(e))); full != nil && full.Within(r) {
 		return nil
 	}
 	return r
@@ -327,10 +307,10 @@ func (tf *truncFlow) refine(env rangeEnv, cond ast.Expr, truth bool) rangeEnv {
 		if !truth {
 			return tf.bound(tf.bound(env, a, nil, tf.loOf(env, b)), b, tf.hiOf(env, a), nil)
 		}
-		return tf.bound(tf.bound(env, a, sub(tf.hiOf(env, b), one), nil), b, nil, add(tf.loOf(env, a), one))
+		return tf.bound(tf.bound(env, a, interval.SubBound(tf.hiOf(env, b), one), nil), b, nil, interval.AddBound(tf.loOf(env, a), one))
 	case "<=":
 		if !truth {
-			return tf.bound(tf.bound(env, a, nil, add(tf.loOf(env, b), one)), b, sub(tf.hiOf(env, a), one), nil)
+			return tf.bound(tf.bound(env, a, nil, interval.AddBound(tf.loOf(env, b), one)), b, interval.SubBound(tf.hiOf(env, a), one), nil)
 		}
 		return tf.bound(tf.bound(env, a, tf.hiOf(env, b), nil), b, nil, tf.loOf(env, a))
 	case ">":
@@ -351,30 +331,16 @@ func fn2(name string, like *ast.VarRef) *ast.VarRef {
 	return &ast.VarRef{Name: name, SpanV: like.SpanV}
 }
 
-func add(x, y *big.Int) *big.Int {
-	if x == nil {
-		return nil
-	}
-	return new(big.Int).Add(x, y)
-}
-
-func sub(x, y *big.Int) *big.Int {
-	if x == nil {
-		return nil
-	}
-	return new(big.Int).Sub(x, y)
-}
-
 func (tf *truncFlow) loOf(env rangeEnv, e ast.Expr) *big.Int {
 	if r := tf.rangeOf(env, e); r != nil {
-		return r.lo
+		return r.Lo
 	}
 	return nil
 }
 
 func (tf *truncFlow) hiOf(env rangeEnv, e ast.Expr) *big.Int {
 	if r := tf.rangeOf(env, e); r != nil {
-		return r.hi
+		return r.Hi
 	}
 	return nil
 }
@@ -397,36 +363,29 @@ func (tf *truncFlow) bound(env rangeEnv, e ast.Expr, newHi, newLo *big.Int) rang
 	if cur == nil {
 		return env
 	}
-	lo, hi := cur.lo, cur.hi
-	if newLo != nil && newLo.Cmp(lo) > 0 {
-		lo = newLo
-	}
-	if newHi != nil && newHi.Cmp(hi) < 0 {
-		hi = newHi
-	}
-	if lo.Cmp(hi) > 0 {
+	next := interval.Intersect(cur, interval.New(newLo, newHi))
+	if next.Empty() {
 		return rangeEnv{} // condition can never hold: edge unreachable
 	}
-	if lo == cur.lo && hi == cur.hi {
+	if next.Lo == cur.Lo && next.Hi == cur.Hi {
 		return env
 	}
 	out := env.clone()
-	out.vars[name] = newRange(lo, hi)
+	out.vars[name] = next
 	return out
 }
 
 // rangeOf computes a conservative interval for e under env, or nil when e's
-// type is not integer-like.
-func (tf *truncFlow) rangeOf(env rangeEnv, e ast.Expr) *valueRange {
+// type is not integer-like. Truncate ranges are always finite: the fallback
+// is the full (finite) type range.
+func (tf *truncFlow) rangeOf(env rangeEnv, e ast.Expr) *interval.I {
 	t := types.Prune(tf.info.TypeOf(e))
 	full := typeRange(t)
 	switch e := e.(type) {
 	case *ast.IntLit:
-		v := big.NewInt(e.Value)
-		return newRange(v, v)
+		return interval.Point(big.NewInt(e.Value))
 	case *ast.CharLit:
-		v := big.NewInt(int64(e.Value))
-		return newRange(v, v)
+		return interval.Point(big.NewInt(int64(e.Value)))
 	case *ast.VarRef:
 		if name := tf.g.Rename[e]; name != "" && env.reached {
 			if r, ok := env.vars[name]; ok {
@@ -436,7 +395,7 @@ func (tf *truncFlow) rangeOf(env rangeEnv, e ast.Expr) *valueRange {
 		return full
 	case *ast.Cast:
 		inner := tf.rangeOf(env, e.Expr)
-		if inner != nil && full != nil && within(inner, full) {
+		if inner != nil && full != nil && inner.Within(full) {
 			return inner // value preserved by the cast
 		}
 		return full
@@ -458,7 +417,7 @@ func (tf *truncFlow) rangeOf(env rangeEnv, e ast.Expr) *valueRange {
 
 // builtinRange narrows the result of masking/remainder/shift builtins with
 // literal operands.
-func (tf *truncFlow) builtinRange(env rangeEnv, call *ast.Call) *valueRange {
+func (tf *truncFlow) builtinRange(env rangeEnv, call *ast.Call) *interval.I {
 	v, ok := call.Fn.(*ast.VarRef)
 	if !ok || len(call.Args) != 2 {
 		return nil
@@ -471,27 +430,27 @@ func (tf *truncFlow) builtinRange(env rangeEnv, call *ast.Call) *valueRange {
 	switch v.Name {
 	case "bitand":
 		if lit.Value >= 0 {
-			return newRange(big.NewInt(0), big.NewInt(lit.Value))
+			return interval.Of(0, lit.Value)
 		}
 	case "mod":
 		if lit.Value > 0 {
 			hi := big.NewInt(lit.Value - 1)
 			if argT.Kind == types.KInt && argT.Signed {
-				if r := tf.rangeOf(env, call.Args[0]); r != nil && r.lo.Sign() >= 0 {
-					return newRange(big.NewInt(0), hi) // non-negative dividend
+				if r := tf.rangeOf(env, call.Args[0]); r != nil && r.Lo.Sign() >= 0 {
+					return interval.New(big.NewInt(0), hi) // non-negative dividend
 				}
-				return newRange(new(big.Int).Neg(hi), hi)
+				return interval.New(new(big.Int).Neg(hi), hi)
 			}
-			return newRange(big.NewInt(0), hi)
+			return interval.New(big.NewInt(0), hi)
 		}
 	case "shr":
 		if full := typeRange(argT); full != nil && lit.Value >= 0 && lit.Value < 64 &&
 			argT.Kind == types.KInt && !argT.Signed {
 			base := full
-			if r := tf.rangeOf(env, call.Args[0]); r != nil && r.lo.Sign() >= 0 {
+			if r := tf.rangeOf(env, call.Args[0]); r != nil && r.Lo.Sign() >= 0 {
 				base = r
 			}
-			return newRange(big.NewInt(0), new(big.Int).Rsh(base.hi, uint(lit.Value)))
+			return interval.New(big.NewInt(0), new(big.Int).Rsh(base.Hi, uint(lit.Value)))
 		}
 	}
 	return nil

@@ -111,12 +111,15 @@ func bestOf3(p *core.Program, opts vm.Options, arg int64, deterministic bool) (i
 // canonical workload under both representations, plus derived box-pressure
 // ratios. On measured (non-deterministic) runs each unboxed row also carries
 // dispatchSpeedup — fused dispatch over the legacy switch interpreter on the
-// same kernel — and a final geomean row summarises it, so the trajectory
-// records the interpreter rebuild without disturbing the boxed/unboxed
-// ratio shape (both representations run the same dispatch).
+// same kernel — and, for kernels where the bounds prover discharged sites,
+// boundsElisionSpeedup — the same kernel with proof-guided bounds-check
+// elision over the checked baseline. Final geomean rows summarise both, so
+// the trajectory records the interpreter rebuild and the prover payoff
+// without disturbing the boxed/unboxed ratio shape.
 func metricsE1(p Params, deterministic bool) (*obs.MetricsDoc, error) {
 	doc := obs.NewMetricsDoc("E1", deterministic)
 	speedupProduct, speedups := 1.0, 0
+	elideProduct, elisions := 1.0, 0
 	for _, w := range workloads() {
 		prog, err := core.Load(w.name, w.src, core.Config{Optimize: opt.O1})
 		if err != nil {
@@ -137,6 +140,32 @@ func metricsE1(p Params, deterministic bool) (*obs.MetricsDoc, error) {
 			un.Derived = map[string]float64{"dispatchSpeedup": s}
 			speedupProduct *= s
 			speedups++
+
+			eprog, err := core.Load(w.name, w.src, core.Config{Optimize: opt.O1, BoundsElide: true})
+			if err != nil {
+				return nil, fmt.Errorf("%s/elide: %w", w.name, err)
+			}
+			if eprog.Proofs != nil && eprog.Proofs.Proved > 0 {
+				// Paired measurement: re-time the checked baseline back to
+				// back with the elided run so the ratio compares two
+				// adjacent timings instead of inheriting whatever drift
+				// separates this block from the row measurement above.
+				checked, _, err := bestOf3(prog, vm.Options{Mode: vm.Unboxed}, arg, false)
+				if err != nil {
+					return nil, fmt.Errorf("%s/elide-baseline: %w", w.name, err)
+				}
+				elided, _, err := bestOf3(eprog,
+					vm.Options{Mode: vm.Unboxed, BoundsElide: eprog.Proofs.Elidable()}, arg, false)
+				if err != nil {
+					return nil, fmt.Errorf("%s/elide: %w", w.name, err)
+				}
+				es := float64(checked) / float64(elided)
+				un.Derived["boundsElisionSpeedup"] = es
+				un.Derived["boundsProved"] = float64(eprog.Proofs.Proved)
+				un.Derived["boundsSites"] = float64(eprog.Proofs.Sites)
+				elideProduct *= es
+				elisions++
+			}
 		}
 		bx, err := measure(prog, w.name, "boxed", vm.Boxed, arg, deterministic)
 		if err != nil {
@@ -151,12 +180,16 @@ func metricsE1(p Params, deterministic bool) (*obs.MetricsDoc, error) {
 		doc.Rows = append(doc.Rows, un, bx)
 	}
 	if speedups > 0 {
+		derived := map[string]float64{
+			"dispatchSpeedup": math.Pow(speedupProduct, 1/float64(speedups)),
+		}
+		if elisions > 0 {
+			derived["boundsElisionSpeedup"] = math.Pow(elideProduct, 1/float64(elisions))
+		}
 		doc.Rows = append(doc.Rows, obs.Metrics{
 			Workload: "geomean",
 			Mode:     "unboxed",
-			Derived: map[string]float64{
-				"dispatchSpeedup": math.Pow(speedupProduct, 1/float64(speedups)),
-			},
+			Derived:  derived,
 		})
 	}
 	return doc, nil
@@ -310,6 +343,41 @@ func metricsAnalyze(p Params, deterministic bool) (*obs.MetricsDoc, error) {
 	}
 	if err := runAtom("warm"); err != nil {
 		return nil, err
+	}
+
+	// Bounds-prover tier: the relational range analysis over the E1 kernels,
+	// cold (fresh fact store, full CFG + points-to rebuild) then warm
+	// (per-function proof sites served from unchanged content keys). The
+	// sites/proved counts pin the discharge rate the elision experiment in
+	// BENCH_E1.json depends on, and the cache traffic shows whether the
+	// proof keys still match the incremental driver's invalidation.
+	for _, w := range workloads() {
+		bprog, err := core.LoadAnalysis(w.name, w.src)
+		if err != nil {
+			return nil, fmt.Errorf("ANALYZE bounds %s: %w", w.name, err)
+		}
+		bstore := factstore.New()
+		for _, mode := range []string{"bounds-cold", "bounds-warm"} {
+			before := bstore.Stats()
+			start := time.Now()
+			ps := analysis.BoundsProofsWithStore(bprog.AST, bprog.Info, bstore)
+			wall := time.Since(start).Nanoseconds()
+			if deterministic {
+				wall = 0
+			}
+			after := bstore.Stats()
+			doc.Rows = append(doc.Rows, obs.Metrics{
+				Workload:   w.name,
+				Mode:       mode,
+				AnalysisNS: wall,
+				Derived: map[string]float64{
+					"sites":       float64(ps.Sites),
+					"proved":      float64(ps.Proved),
+					"cacheHits":   float64(after.Hits - before.Hits),
+					"cacheMisses": float64(after.Misses - before.Misses),
+				},
+			})
+		}
 	}
 	return doc, nil
 }

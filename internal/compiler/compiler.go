@@ -572,11 +572,11 @@ func (fc *funcCompiler) call(e *ast.Call) ir.Reg {
 			case "vector-ref":
 				vec, idx := fc.expr(e.Args[0]), fc.expr(e.Args[1])
 				r := fc.newReg()
-				fc.emit(ir.Instr{Op: ir.OpVecRef, Dst: r, A: vec, B: idx, Type: fc.m.info.TypeOf(e)})
+				fc.emit(ir.Instr{Op: ir.OpVecRef, Dst: r, A: vec, B: idx, Type: fc.m.info.TypeOf(e), Pos: int(e.Span().Start) + 1})
 				return r
 			case "vector-set!":
 				vec, idx, val := fc.expr(e.Args[0]), fc.expr(e.Args[1]), fc.expr(e.Args[2])
-				fc.emit(ir.Instr{Op: ir.OpVecSet, A: vec, B: idx, Args: []ir.Reg{val}})
+				fc.emit(ir.Instr{Op: ir.OpVecSet, A: vec, B: idx, Args: []ir.Reg{val}, Pos: int(e.Span().Start) + 1})
 				return fc.constUnit()
 			case "vector-length":
 				vec := fc.expr(e.Args[0])

@@ -11,7 +11,7 @@ import (
 )
 
 // TestAnalyzeGolden pins the exact analyzer output for the shipped example
-// programs — the three examples/progs sources plus the six example
+// programs — the three examples/progs sources plus the pinned example
 // workloads mirrored in testdata/analyze — in all three report formats
 // (text, JSON, SARIF). Any change to a checker, to finding ordering, or to
 // a report schema shows up here as a byte diff. Regenerate with:
@@ -25,8 +25,8 @@ func TestAnalyzeGolden(t *testing.T) {
 	}
 	inputs = append(inputs, progs...)
 	pinned, err := filepath.Glob("testdata/analyze/*.bitc")
-	if err != nil || len(pinned) != 10 {
-		t.Fatalf("want the 10 pinned example programs, got %d (%v)", len(pinned), err)
+	if err != nil || len(pinned) != 13 {
+		t.Fatalf("want the 13 pinned example programs, got %d (%v)", len(pinned), err)
 	}
 	inputs = append(inputs, pinned...)
 

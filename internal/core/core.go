@@ -53,6 +53,12 @@ type Config struct {
 	// profiling, metrics) to every VM the program creates; nil disables
 	// observability. See internal/obs and vm.NewRecorder.
 	Observer *obs.Recorder
+	// BoundsElide runs the relational bounds prover at load time and elides
+	// the VM's bounds checks at every vector-access site the prover
+	// discharged. Elision never changes observable behaviour — values,
+	// traps, and instrumentation counters are identical — it only removes
+	// the fast-path compare at proven sites.
+	BoundsElide bool
 }
 
 // DefaultConfig compiles at O2 with unboxed representation.
@@ -65,6 +71,9 @@ type Program struct {
 	Info   *types.Info
 	Module *ir.Module
 	Opt    *opt.Result
+	// Proofs is the bounds prover's site classification, populated when the
+	// config asked for BoundsElide (nil otherwise).
+	Proofs *analysis.BoundsProofSet
 
 	cfg Config
 }
@@ -84,7 +93,11 @@ func Load(name, src string, cfg Config) (*Program, error) {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
 	res := opt.Optimize(mod, cfg.Optimize)
-	return &Program{Name: name, AST: prog, Info: info, Module: mod, Opt: res, cfg: cfg}, nil
+	p := &Program{Name: name, AST: prog, Info: info, Module: mod, Opt: res, cfg: cfg}
+	if cfg.BoundsElide {
+		p.Proofs = analysis.BoundsProofs(prog, info)
+	}
+	return p, nil
 }
 
 // LoadAnalysis parses and type-checks source text without compiling it —
@@ -115,7 +128,7 @@ func MustLoad(name, src string, cfg Config) *Program {
 
 // NewVM creates a fresh VM for the program with the program's config.
 func (p *Program) NewVM() *vm.VM {
-	return vm.New(p.Module, vm.Options{
+	opts := vm.Options{
 		Mode:         p.cfg.Mode,
 		Dispatch:     p.cfg.Dispatch,
 		RespectNoBox: p.cfg.RespectNoBox,
@@ -124,7 +137,11 @@ func (p *Program) NewVM() *vm.VM {
 		MaxSteps:     p.cfg.MaxSteps,
 		Stdout:       p.cfg.Stdout,
 		Observer:     p.cfg.Observer,
-	})
+	}
+	if p.Proofs != nil {
+		opts.BoundsElide = p.Proofs.Elidable()
+	}
+	return vm.New(p.Module, opts)
 }
 
 // Run executes main on a fresh VM, returning its value and the VM (for

@@ -50,6 +50,21 @@ type EdgeRefiner[F any] interface {
 	Flow(from *cfg.Block, succIdx int, out F) F
 }
 
+// Widener is an optional extension for forward problems over infinite
+// lattices (value ranges): at every loop-header block (Block.Loop != nil)
+// the solver replaces the computed meet with Widen(header, prev, next),
+// where prev is the header's fact from the previous iteration, so growing
+// chains jump to a fixpoint in bounded steps. After the ascending phase
+// converges, the solver runs two descending sweeps that call
+// Narrow(header, prev, next) at loop headers — next is the freshly
+// recomputed meet of predecessor facts, and Narrow recovers bounds the
+// widening overshot (it must only refine, never grow, its prev argument,
+// which keeps the descent sound and terminating).
+type Widener[F any] interface {
+	Widen(header *cfg.Block, prev, next F) F
+	Narrow(header *cfg.Block, prev, next F) F
+}
+
 // Result holds the per-block fixpoint facts. For forward problems In is the
 // state before the block and Out after; for backward problems In is the
 // state at block exit and Out at block entry (facts flow against the edges).
@@ -75,6 +90,10 @@ func Solve[F any](g *cfg.Graph, p Problem[F]) *Result[F] {
 		order = rev
 	}
 	refiner, _ := p.(EdgeRefiner[F])
+	widener, _ := p.(Widener[F])
+	if p.Direction() == Backward {
+		widener = nil // widening/narrowing is defined on loop-header entries
+	}
 
 	// sources(b) yields the dataflow predecessors with the edge metadata
 	// needed for refinement.
@@ -112,35 +131,44 @@ func Solve[F any](g *cfg.Graph, p Problem[F]) *Result[F] {
 		boundary = g.Exit
 	}
 
+	// meetIn recomputes a block's incoming fact from the current outs of its
+	// dataflow sources (shared by the main worklist and the narrowing phase).
+	meetIn := func(b *cfg.Block) F {
+		var in F
+		srcs := sources(b)
+		if b == boundary && len(srcs) == 0 {
+			return p.Boundary()
+		}
+		first := true
+		for _, e := range srcs {
+			f := res.Out[e.from.Index]
+			if refiner != nil && p.Direction() == Forward && e.succIdx >= 0 {
+				f = refiner.Flow(e.from, e.succIdx, f)
+			}
+			if first {
+				in = f
+				first = false
+			} else {
+				in = p.Meet(in, f)
+			}
+		}
+		if first {
+			in = p.Init()
+		}
+		if b == boundary {
+			in = p.Meet(in, p.Boundary())
+		}
+		return in
+	}
+
 	for len(work) > 0 {
 		b := work[0]
 		work = work[1:]
 		inWork[b.Index] = false
 
-		var in F
-		srcs := sources(b)
-		if b == boundary && len(srcs) == 0 {
-			in = p.Boundary()
-		} else {
-			first := true
-			for _, e := range srcs {
-				f := res.Out[e.from.Index]
-				if refiner != nil && p.Direction() == Forward && e.succIdx >= 0 {
-					f = refiner.Flow(e.from, e.succIdx, f)
-				}
-				if first {
-					in = f
-					first = false
-				} else {
-					in = p.Meet(in, f)
-				}
-			}
-			if first {
-				in = p.Init()
-			}
-			if b == boundary {
-				in = p.Meet(in, p.Boundary())
-			}
+		in := meetIn(b)
+		if widener != nil && b.Loop != nil {
+			in = widener.Widen(b, res.In[b.Index], in)
 		}
 		res.In[b.Index] = in
 		out := p.Transfer(b, in)
@@ -157,6 +185,24 @@ func Solve[F any](g *cfg.Graph, p Problem[F]) *Result[F] {
 					inWork[s.Index] = true
 					work = append(work, s)
 				}
+			}
+		}
+	}
+
+	// Descending phase: with the ascending (widened) fixpoint as a sound
+	// starting point, two RPO sweeps re-derive each block's entry fact from
+	// its predecessors and let Narrow pull widened bounds back down at loop
+	// headers. Transfers are monotone, so every sweep stays a sound
+	// over-approximation, and the pass count bounds the descent.
+	if widener != nil {
+		for sweep := 0; sweep < 2; sweep++ {
+			for _, b := range order {
+				in := meetIn(b)
+				if b.Loop != nil {
+					in = widener.Narrow(b, res.In[b.Index], in)
+				}
+				res.In[b.Index] = in
+				res.Out[b.Index] = p.Transfer(b, in)
 			}
 		}
 	}

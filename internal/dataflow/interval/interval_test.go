@@ -1,0 +1,180 @@
+package interval
+
+import (
+	"math/big"
+	"testing"
+)
+
+func bi(v int64) *big.Int { return big.NewInt(v) }
+
+func TestConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		r    *I
+		want string
+	}{
+		{Of(1, 5), "[1, 5]"},
+		{Point(bi(7)), "[7, 7]"},
+		{Top(), "[-inf, +inf]"},
+		{New(bi(0), nil), "[0, +inf]"},
+		{New(nil, bi(-1)), "[-inf, -1]"},
+		{Signed(8), "[-128, 127]"},
+		{Unsigned(8), "[0, 255]"},
+		{Signed(64), "[-9223372036854775808, 9223372036854775807]"},
+		{Unsigned(16), "[0, 65535]"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("String() = %s, want %s", got, c.want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if Of(3, 2).Empty() != true || Of(2, 2).Empty() != false {
+		t.Error("Empty on finite intervals wrong")
+	}
+	if New(bi(3), nil).Empty() {
+		t.Error("half-open interval is never empty")
+	}
+	if !Of(1, 5).Bounded() || New(nil, bi(5)).Bounded() {
+		t.Error("Bounded wrong")
+	}
+	if !Of(0, 5).Nonneg() || Of(-1, 5).Nonneg() || Top().Nonneg() {
+		t.Error("Nonneg wrong")
+	}
+	if !Of(1, 5).Contains(bi(5)) || Of(1, 5).Contains(bi(6)) || !Top().Contains(bi(-100)) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !Of(2, 3).Within(Of(1, 5)) {
+		t.Error("[2,3] should be within [1,5]")
+	}
+	if Of(0, 3).Within(Of(1, 5)) || Of(2, 6).Within(Of(1, 5)) {
+		t.Error("straddling intervals are not within")
+	}
+	if !Of(1, 5).Within(Top()) {
+		t.Error("everything is within top")
+	}
+	if New(bi(0), nil).Within(Of(0, 100)) {
+		t.Error("an unbounded side fits only inside an unbounded side")
+	}
+	if !New(bi(0), nil).Within(New(bi(-1), nil)) {
+		t.Error("[0,+inf] should be within [-1,+inf]")
+	}
+}
+
+func TestHull(t *testing.T) {
+	if got := Hull(Of(1, 3), Of(5, 9)); got.String() != "[1, 9]" {
+		t.Errorf("Hull = %s", got)
+	}
+	if got := Hull(Of(1, 3), New(nil, bi(2))); got.String() != "[-inf, 3]" {
+		t.Errorf("Hull with -inf = %s", got)
+	}
+	if got := Hull(Top(), Of(1, 3)); !got.Eq(Top()) {
+		t.Errorf("Hull with top = %s", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	if got := Intersect(Of(1, 10), Of(5, 20)); got.String() != "[5, 10]" {
+		t.Errorf("Intersect = %s", got)
+	}
+	if got := Intersect(Top(), Of(0, 4)); got.String() != "[0, 4]" {
+		t.Errorf("Intersect top = %s", got)
+	}
+	if got := Intersect(Of(1, 3), Of(5, 9)); !got.Empty() {
+		t.Errorf("disjoint Intersect should be empty, got %s", got)
+	}
+	if got := Intersect(New(bi(0), nil), New(nil, bi(7))); got.String() != "[0, 7]" {
+		t.Errorf("Intersect half-open = %s", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := Add(Of(1, 2), Of(10, 20)); got.String() != "[11, 22]" {
+		t.Errorf("Add = %s", got)
+	}
+	if got := Add(Of(1, 2), New(bi(0), nil)); got.String() != "[1, +inf]" {
+		t.Errorf("Add unbounded = %s", got)
+	}
+	if got := Sub(Of(10, 20), Of(1, 2)); got.String() != "[8, 19]" {
+		t.Errorf("Sub = %s", got)
+	}
+	if got := Sub(Of(10, 20), New(nil, bi(2))); got.String() != "[8, +inf]" {
+		t.Errorf("Sub unbounded = %s", got)
+	}
+	if got := Shift(Of(0, 5), bi(-1)); got.String() != "[-1, 4]" {
+		t.Errorf("Shift = %s", got)
+	}
+	if got := Shift(New(bi(3), nil), bi(2)); got.String() != "[5, +inf]" {
+		t.Errorf("Shift half-open = %s", got)
+	}
+}
+
+func TestBoundHelpers(t *testing.T) {
+	if AddBound(nil, bi(1)) != nil || SubBound(bi(1), nil) != nil {
+		t.Error("nil must propagate through bound arithmetic")
+	}
+	if got := AddBound(bi(2), bi(3)); got.Cmp(bi(5)) != 0 {
+		t.Errorf("AddBound = %s", got)
+	}
+	if got := SubBound(bi(2), bi(3)); got.Cmp(bi(-1)) != 0 {
+		t.Errorf("SubBound = %s", got)
+	}
+}
+
+// TestWidenNarrow exercises the loop-convergence pair: a counter growing
+// [0,0] → [0,1] → … widens to [0,+inf] in one step, and the descending
+// narrowing phase recovers the stable bound computed under the widened
+// assumption.
+func TestWidenNarrow(t *testing.T) {
+	prev, next := Of(0, 0), Of(0, 1)
+	w := Widen(prev, next)
+	if w.String() != "[0, +inf]" {
+		t.Errorf("Widen growing hi = %s", w)
+	}
+	// Stable bounds are kept.
+	if got := Widen(Of(0, 9), Of(0, 9)); got.String() != "[0, 9]" {
+		t.Errorf("Widen stable = %s", got)
+	}
+	// A shrinking bound (possible after refinement) is also kept stable:
+	// widening only ever loses precision on genuinely growing sides.
+	if got := Widen(Of(0, 9), Of(2, 7)); got.String() != "[0, 9]" {
+		t.Errorf("Widen shrink = %s", got)
+	}
+	if got := Widen(Of(0, 5), New(nil, bi(5))); got.String() != "[-inf, 5]" {
+		t.Errorf("Widen to -inf = %s", got)
+	}
+	// Narrowing adopts the recomputed bound only on widened (infinite) sides.
+	if got := Narrow(New(bi(0), nil), Of(-1, 9)); got.String() != "[0, 9]" {
+		t.Errorf("Narrow = %s", got)
+	}
+	if got := Narrow(Of(0, 5), Of(1, 4)); got.String() != "[0, 5]" {
+		t.Errorf("Narrow must keep finite bounds, got %s", got)
+	}
+	if got := Narrow(Top(), New(bi(-1), nil)); got.String() != "[-1, +inf]" {
+		t.Errorf("Narrow top = %s", got)
+	}
+}
+
+func TestEq(t *testing.T) {
+	if !Of(1, 2).Eq(Of(1, 2)) || Of(1, 2).Eq(Of(1, 3)) {
+		t.Error("Eq on finite intervals wrong")
+	}
+	if !Top().Eq(Top()) || Top().Eq(New(bi(0), nil)) {
+		t.Error("Eq with unbounded sides wrong")
+	}
+}
+
+// TestImmutability checks operations never alias or mutate operand bounds
+// in place — facts are shared across dataflow iterations.
+func TestImmutability(t *testing.T) {
+	a, b := Of(1, 2), Of(3, 4)
+	sum := Add(a, b)
+	sum.Lo.SetInt64(99)
+	if a.Lo.Cmp(bi(1)) != 0 || b.Lo.Cmp(bi(3)) != 0 {
+		t.Error("Add aliased an operand bound")
+	}
+}

@@ -200,6 +200,14 @@ type Instr struct {
 	// Region is the register holding the region handle allocation ops should
 	// place their object in; NoReg means the garbage-collected heap.
 	Region Reg
+
+	// Pos identifies the source expression this instruction was compiled
+	// from, as source span start + 1 (0 = no position). The compiler stamps
+	// it only on user-written vector accesses, where it keys the bounds
+	// prover's elision set (analysis.BoundsProofSet.Elidable); compiler-
+	// synthesised accesses (letrec cells, capture boxes) stay unstamped and
+	// are never elided.
+	Pos int
 }
 
 // TermKind discriminates block terminators.

@@ -241,9 +241,18 @@ func (v *VM) decodeInstr(in *ir.Instr) dinstr {
 	case ir.OpVecRef:
 		d.ic = &icache{}
 		d.h, d.label, d.canFuse = hVecRef, "vecref.ic", true
+		// A site the bounds prover discharged drops the fast-path bounds
+		// compare. The label marks the elision for disasm; it only appears
+		// when a proof set was supplied, so baseline disassembly is stable.
+		if in.Pos != 0 && v.opts.BoundsElide[in.Pos] {
+			d.h, d.label = hVecRefElide, "vecref.ic!"
+		}
 	case ir.OpVecSet:
 		d.ic = &icache{}
 		d.h, d.label = hVecSet, "vecset.ic"
+		if in.Pos != 0 && v.opts.BoundsElide[in.Pos] {
+			d.h, d.label = hVecSetElide, "vecset.ic!"
+		}
 	case ir.OpVecLen:
 		d.h, d.label = hVecLen, "veclen"
 	default:

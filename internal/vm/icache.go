@@ -127,6 +127,48 @@ func hVecSet(v *VM, t *Thread, fr *Frame, d *dinstr) error {
 	return err
 }
 
+// hVecRefElide is hVecRef minus the bounds compare: selected at decode time
+// only for sites the static prover discharged (Options.BoundsElide), so the
+// index is in range on every execution that reaches the fast path. The
+// identity and transaction guards, counter increments, and index-load
+// accounting are kept exactly as in hVecRef — elision must be invisible to
+// everything but the cycle count.
+func hVecRefElide(v *VM, t *Thread, fr *Frame, d *dinstr) error {
+	ic := d.ic
+	if val := fr.regs[d.a]; val.K == KRef && val.R == ic.obj && t.txn == nil {
+		i := v.loadInt(fr.regs[d.b])
+		v.Stats.ICHits++
+		v.Stats.VecOps++
+		fr.regs[d.dst] = val.R.Elems[i]
+		return nil
+	}
+	v.Stats.ICMisses++
+	err := v.exec(t, fr, d.src)
+	if err == nil {
+		ic.fillVec(fr.regs[d.a], t)
+	}
+	return err
+}
+
+// hVecSetElide is hVecSet minus the bounds compare; see hVecRefElide.
+func hVecSetElide(v *VM, t *Thread, fr *Frame, d *dinstr) error {
+	ic := d.ic
+	if val := fr.regs[d.a]; val.K == KRef && val.R == ic.obj && t.txn == nil {
+		i := v.loadInt(fr.regs[d.b])
+		v.Stats.ICHits++
+		v.Stats.VecOps++
+		val.R.Elems[i] = fr.regs[d.args[0]]
+		val.R.Version++
+		return nil
+	}
+	v.Stats.ICMisses++
+	err := v.exec(t, fr, d.src)
+	if err == nil {
+		ic.fillVec(fr.regs[d.a], t)
+	}
+	return err
+}
+
 // fillVec records the vector identity after a successful slow-path access.
 // Only heap vectors are cached: identity then implies liveness forever, so
 // the hot path carries no region check at all.

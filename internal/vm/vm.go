@@ -50,6 +50,12 @@ type Options struct {
 	// cost of one predictable branch per hook site; see NewRecorder and
 	// BenchmarkVMObsOverhead.
 	Observer *obs.Recorder
+	// BoundsElide marks vector-access instructions (by ir.Instr.Pos) whose
+	// bounds check the static prover discharged; the pre-decode pass selects
+	// check-free IC fast paths for them. A proof covers every execution of
+	// the site, so elision is observation-free: values, traps, and counters
+	// are identical with the map nil. Produced by analysis.BoundsProofs.
+	BoundsElide map[int]bool
 }
 
 // Stats is the VM's instrumentation, the raw material of the benchmark tables.

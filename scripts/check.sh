@@ -100,6 +100,28 @@ rm -f /tmp/bitc-serve-shard.bitc /tmp/bitc-serve-twopc.bitc
 # review the diff; see docs/vm.md).
 go test -count=1 -run 'TestDispatchDifferential|TestDisasmGolden' ./internal/vm
 
+# Bounds & provenance gate: the relational prover must (1) hold the E1
+# kernels' discharge rate above the 60% floor and keep the PROV001
+# narrowing checks honest (internal/analysis), (2) report no provably
+# out-of-range access (BITC-BOUND001) anywhere in the shipped examples or
+# the service's generated programs, and (3) keep proof-guided elision
+# observationally equivalent to the checked interpreter — values, traps,
+# counters, and observer streams (internal/vm/elide_test.go), with every
+# statically flagged site actually trapping in the VM.
+go test -count=1 -run 'TestBoundsE1Discharge|TestFFIProv' ./internal/analysis
+go test -count=1 -run 'TestBoundsElision|TestBoundsStaticTrapAgreement' ./internal/vm
+for kind in shard twopc; do
+    /tmp/bitc-check serve -emit-program "$kind" > "/tmp/bitc-bound-$kind.bitc"
+done
+for f in examples/progs/*.bitc examples/bankstm/bankstm.bitc \
+         /tmp/bitc-bound-shard.bitc /tmp/bitc-bound-twopc.bitc; do
+    if /tmp/bitc-check analyze -strict "$f" | grep -q 'BITC-BOUND001'; then
+        echo "$f: provably out-of-range vector access"; exit 1
+    fi
+done
+rm -f /tmp/bitc-bound-shard.bitc /tmp/bitc-bound-twopc.bitc
+echo "bounds gate: discharge floor, corpus sweep, and elision differential green"
+
 # Bench determinism gate: two deterministic E1 collections must be
 # byte-identical — dispatch work (specialization, fusion, inline caches)
 # must never leak nondeterminism into the committed trajectory files.
